@@ -1,0 +1,227 @@
+//! Log-space binomial distribution utilities.
+//!
+//! The paper's revocation analysis sums binomial tails over populations of
+//! up to 10 000 nodes; naive factorials overflow immediately, so everything
+//! here goes through `ln Γ`.
+
+/// Natural log of `n!`, exact-table for small `n`, Stirling series beyond.
+///
+/// Absolute error is below `1e-10` for all `n`.
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        std::f64::consts::LN_2, // ln 2!
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_683,
+        27.899_271_383_840_894,
+        30.671_860_106_080_675,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n <= 20 {
+        return TABLE[n as usize];
+    }
+    // Stirling series: ln n! = n ln n - n + 0.5 ln(2 pi n) + 1/(12n) -
+    // 1/(360 n^3) + 1/(1260 n^5).
+    let x = n as f64;
+    let inv = 1.0 / x;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + inv / 12.0 - inv.powi(3) / 360.0
+        + inv.powi(5) / 1260.0
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "C({n}, {k}) undefined");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The binomial probability mass `P(X = k)` for `X ~ Binom(n, p)`.
+///
+/// # Panics
+///
+/// Panics unless `p` lies in `[0, 1]` and `k ≤ n`.
+pub fn pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    assert!(k <= n, "k={k} exceeds n={n}");
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// The lower tail `P(X ≤ k)` for `X ~ Binom(n, p)`.
+///
+/// # Panics
+///
+/// Panics unless `p` lies in `[0, 1]`.
+pub fn cdf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if k >= n {
+        return 1.0;
+    }
+    // Sum the smaller side for accuracy.
+    let direct: f64 = (0..=k).map(|i| pmf(n, i, p)).sum();
+    direct.clamp(0.0, 1.0)
+}
+
+/// The upper tail `P(X > k)` — the paper's revocation probability shape
+/// (`P_d = 1 − Σ_{i=0}^{τ'} P(i)`).
+pub fn tail_above(n: u64, k: u64, p: f64) -> f64 {
+    if k >= n {
+        return 0.0;
+    }
+    // Summing the complementary side avoids 1-x cancellation when the tail
+    // is the larger part.
+    let upper: f64 = (k + 1..=n).map(|i| pmf(n, i, p)).sum();
+    let lower = cdf(n, k, p);
+    if upper <= 0.5 {
+        upper.clamp(0.0, 1.0)
+    } else {
+        (1.0 - lower).clamp(0.0, 1.0)
+    }
+}
+
+/// `P(X + Y > threshold)` for independent `X ~ Binom(n1, p1)` and
+/// `Y ~ Binom(n2, p2)` — the convolution behind the paper's `P_o`.
+pub fn convolved_tail_above(n1: u64, p1: f64, n2: u64, p2: f64, threshold: u64) -> f64 {
+    // P(X + Y <= t) = sum_{j=0..min(t,n1)} pmf(n1,j,p1) * cdf(n2, t-j, p2)
+    let mut below = 0.0f64;
+    for j in 0..=threshold.min(n1) {
+        below += pmf(n1, j, p1) * cdf(n2, threshold - j, p2);
+    }
+    (1.0 - below).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3_628_800f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_continuous_at_boundary() {
+        // Compare table value at 20 with recurrence from Stirling at 21.
+        let from_stirling = ln_factorial(21) - 21f64.ln();
+        assert!((from_stirling - ln_factorial(20)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_large_reference() {
+        // ln(100!) = 363.73937555556349...
+        assert!((ln_factorial(100) - 363.739_375_555_563_49).abs() < 1e-9);
+    }
+
+    #[test]
+    fn choose_reference_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (100, 0.01), (1000, 0.5), (37, 0.99)] {
+            let total: f64 = (0..=n).map(|k| pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_p() {
+        assert_eq!(pmf(10, 0, 0.0), 1.0);
+        assert_eq!(pmf(10, 3, 0.0), 0.0);
+        assert_eq!(pmf(10, 10, 1.0), 1.0);
+        assert_eq!(pmf(10, 9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_reference_fair_coin() {
+        // P(X <= 5) for Binom(10, 0.5) = 0.623046875.
+        assert!((cdf(10, 5, 0.5) - 0.623_046_875).abs() < 1e-12);
+        assert_eq!(cdf(10, 10, 0.5), 1.0);
+        assert_eq!(cdf(10, 20, 0.5), 1.0);
+    }
+
+    #[test]
+    fn tail_complements_cdf() {
+        for &(n, k, p) in &[(10u64, 3u64, 0.2), (100, 50, 0.5), (1000, 10, 0.005)] {
+            let t = tail_above(n, k, p);
+            let c = cdf(n, k, p);
+            assert!((t + c - 1.0).abs() < 1e-9, "n={n} k={k} p={p}");
+        }
+        assert_eq!(tail_above(10, 10, 0.7), 0.0);
+    }
+
+    #[test]
+    fn tail_accurate_in_far_tail() {
+        // P(X > 20) for Binom(10000, 0.0001): E[X]=1, so essentially 0 but
+        // positive and far below 1e-15 — the log-space path must not panic
+        // or go negative.
+        let t = tail_above(10_000, 20, 0.0001);
+        assert!((0.0..1e-15).contains(&t));
+    }
+
+    #[test]
+    fn convolution_against_brute_force() {
+        let (n1, p1, n2, p2) = (6u64, 0.3, 4u64, 0.6);
+        for thresh in 0..=10u64 {
+            let mut expected = 0.0;
+            for j in 0..=n1 {
+                for k in 0..=n2 {
+                    if j + k > thresh {
+                        expected += pmf(n1, j, p1) * pmf(n2, k, p2);
+                    }
+                }
+            }
+            let got = convolved_tail_above(n1, p1, n2, p2, thresh);
+            assert!((got - expected).abs() < 1e-12, "thresh={thresh}");
+        }
+    }
+
+    #[test]
+    fn convolution_degenerates_to_single_binomial() {
+        for thresh in 0..8u64 {
+            let a = convolved_tail_above(10, 0.4, 5, 0.0, thresh);
+            let b = tail_above(10, thresh, 0.4);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn choose_rejects_k_above_n() {
+        ln_choose(3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn pmf_rejects_bad_p() {
+        pmf(10, 2, 1.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Confidence intervals for simulated rates.
+//!
+//! The simulation figures average Bernoulli outcomes (revoked or not,
+//! poisoned or not) over a handful of seeds; without interval estimates,
+//! "sim vs theory" comparisons overclaim. This module provides the Wilson
+//! score interval — well-behaved at the small `n` and extreme rates the
+//! experiments produce (a normal approximation would collapse to zero
+//! width at rate 0 or 1).
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Point estimate (the observed proportion).
+    pub estimate: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether `value` falls inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// The Wilson score interval for `successes` out of `trials` at the given
+/// normal quantile `z` (1.96 ≈ 95%, 2.576 ≈ 99%).
+///
+/// # Panics
+///
+/// Panics when `trials` is zero, `successes > trials`, or `z` is not
+/// positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// let ci = secloc_analysis::wilson_interval(8, 10, 1.96);
+/// assert!(ci.lo < 0.8 && 0.8 < ci.hi);
+/// assert!(ci.contains(0.6)); // small n leaves room
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> Interval {
+    assert!(trials > 0, "need at least one trial");
+    assert!(
+        successes <= trials,
+        "successes {successes} exceed trials {trials}"
+    );
+    assert!(z.is_finite() && z > 0.0, "z must be positive, got {z}");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    Interval {
+        lo: (center - half).max(0.0),
+        estimate: p,
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Convenience for the common 95% case.
+pub fn wilson95(successes: u64, trials: u64) -> Interval {
+    wilson_interval(successes, trials, 1.96)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_value_half_and_half() {
+        // 5/10 at 95%: Wilson gives about [0.2366, 0.7634].
+        let ci = wilson95(5, 10);
+        assert!((ci.lo - 0.2366).abs() < 0.001, "{ci:?}");
+        assert!((ci.hi - 0.7634).abs() < 0.001, "{ci:?}");
+        assert_eq!(ci.estimate, 0.5);
+    }
+
+    #[test]
+    fn extremes_do_not_collapse() {
+        // 0/10 and 10/10: the naive normal interval would be width 0.
+        let zero = wilson95(0, 10);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.25, "{zero:?}"); // ~0.278
+        let full = wilson95(10, 10);
+        assert_eq!(full.hi, 1.0);
+        assert!(full.lo < 0.75, "{full:?}");
+        assert!(zero.width() > 0.2);
+    }
+
+    #[test]
+    fn width_shrinks_with_n() {
+        let small = wilson95(5, 10);
+        let big = wilson95(500, 1000);
+        assert!(big.width() < small.width() / 3.0);
+    }
+
+    #[test]
+    fn higher_confidence_wider_interval() {
+        let p95 = wilson_interval(30, 100, 1.96);
+        let p99 = wilson_interval(30, 100, 2.576);
+        assert!(p99.width() > p95.width());
+        assert!(p99.lo < p95.lo && p99.hi > p95.hi);
+    }
+
+    #[test]
+    fn coverage_simulated() {
+        // Empirical check: for p = 0.3, n = 50, the 95% interval should
+        // cover the truth ~95% of the time.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut covered = 0;
+        let reps = 2000;
+        for _ in 0..reps {
+            let successes = (0..50).filter(|_| rng.gen_bool(0.3)).count() as u64;
+            if wilson95(successes, 50).contains(0.3) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / reps as f64;
+        assert!((0.92..=0.98).contains(&coverage), "coverage {coverage}");
+    }
+
+    #[test]
+    fn contains_and_bounds_clamped() {
+        let ci = wilson95(1, 2);
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+        assert!(ci.contains(ci.estimate));
+        assert!(!ci.contains(-0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        wilson95(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn successes_bounded() {
+        wilson95(3, 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Detector-level probabilities (§2.3).
+
+/// The paper's `P`: the probability that a requesting node receives a
+/// malicious beacon signal from a malicious beacon *and* the signal is not
+/// removed by the replay detectors — `P = (1−p_n)(1−p_w)(1−p_l)`.
+///
+/// # Panics
+///
+/// Panics unless each argument lies in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let p = secloc_analysis::acceptance_probability(0.2, 0.3, 0.4);
+/// assert!((p - 0.8 * 0.7 * 0.6).abs() < 1e-12);
+/// ```
+pub fn acceptance_probability(p_n: f64, p_w: f64, p_l: f64) -> f64 {
+    for (name, v) in [("p_n", p_n), ("p_w", p_w), ("p_l", p_l)] {
+        assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+    }
+    (1.0 - p_n) * (1.0 - p_w) * (1.0 - p_l)
+}
+
+/// The paper's `P_r`: probability that a benign detecting node with `m`
+/// detecting IDs detects a given malicious beacon node —
+/// `P_r = 1 − (1 − P)^m` (Fig. 5).
+///
+/// # Panics
+///
+/// Panics unless `p` lies in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// // One detecting ID: detection rate equals P itself.
+/// assert_eq!(secloc_analysis::detection_rate_pr(0.25, 1), 0.25);
+/// // More IDs, more chances.
+/// assert!(secloc_analysis::detection_rate_pr(0.25, 8) > 0.85);
+/// ```
+pub fn detection_rate_pr(p: f64, m: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "P must be in [0,1], got {p}");
+    1.0 - (1.0 - p).powi(m as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_edges() {
+        assert_eq!(acceptance_probability(1.0, 0.0, 0.0), 0.0);
+        assert_eq!(acceptance_probability(0.0, 0.0, 0.0), 1.0);
+        assert_eq!(acceptance_probability(0.0, 1.0, 0.0), 0.0);
+        assert_eq!(acceptance_probability(0.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn pr_monotone_in_m_and_p() {
+        assert!(detection_rate_pr(0.2, 2) > detection_rate_pr(0.2, 1));
+        assert!(detection_rate_pr(0.2, 8) > detection_rate_pr(0.2, 4));
+        assert!(detection_rate_pr(0.3, 4) > detection_rate_pr(0.2, 4));
+    }
+
+    #[test]
+    fn pr_reference_points_fig5() {
+        // Fig. 5: at P = 0.5, m = 1,2,4,8 give 0.5, 0.75, 0.9375, ~0.996.
+        assert_eq!(detection_rate_pr(0.5, 1), 0.5);
+        assert_eq!(detection_rate_pr(0.5, 2), 0.75);
+        assert_eq!(detection_rate_pr(0.5, 4), 0.9375);
+        assert!((detection_rate_pr(0.5, 8) - 0.996_093_75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pr_zero_ids_never_detects() {
+        assert_eq!(detection_rate_pr(0.9, 0), 0.0);
+    }
+
+    #[test]
+    fn pr_extremes() {
+        assert_eq!(detection_rate_pr(0.0, 8), 0.0);
+        assert_eq!(detection_rate_pr(1.0, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn invalid_p_rejected() {
+        detection_rate_pr(-0.1, 2);
+    }
+}

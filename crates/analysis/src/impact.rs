@@ -1,0 +1,198 @@
+//! Attack impact and false positives (§3.2).
+
+use crate::revocation::{revocation_rate_pd, NetworkPopulation};
+
+/// The paper's `N′`: the expected number of non-beacon nodes that accept a
+/// malicious beacon signal from one malicious beacon *after* revocation has
+/// run its course —
+/// `N′ = P(1 − P_d) · N_c (N − N_b) / N` (Figs. 8, 13).
+///
+/// `P(1 − P_d)` is the paper's `P″`: the signal must be kept *and* the
+/// beacon must survive revocation.
+pub fn affected_nonbeacons(
+    p: f64,
+    m: u32,
+    tau_prime: u32,
+    n_c: u64,
+    pop: NetworkPopulation,
+) -> f64 {
+    pop.validate();
+    let pd = revocation_rate_pd(p, m, tau_prime, n_c, pop);
+    let p_doubleprime = p * (1.0 - pd);
+    p_doubleprime * n_c as f64 * pop.non_beacons() as f64 / pop.total as f64
+}
+
+/// The attacker's optimum found by [`max_affected_over_p`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalAttack {
+    /// The `P` maximising `N′` ("the attacker is able to control P").
+    pub p: f64,
+    /// The resulting `N′`.
+    pub affected: f64,
+}
+
+/// Maximises `N′` over the attacker-controlled `P ∈ [0, 1]` (Fig. 9 and
+/// the "P is chosen in such a way that N′ is maximized" settings of
+/// Figs. 8, 14).
+///
+/// Grid scan plus local ternary refinement; `N′(P)` is smooth and unimodal
+/// in practice (linear growth fighting the sigmoid revocation term).
+pub fn max_affected_over_p(
+    m: u32,
+    tau_prime: u32,
+    n_c: u64,
+    pop: NetworkPopulation,
+) -> OptimalAttack {
+    let f = |p: f64| affected_nonbeacons(p, m, tau_prime, n_c, pop);
+    // Coarse grid.
+    let mut best_p = 0.0;
+    let mut best = 0.0f64;
+    for i in 0..=200 {
+        let p = i as f64 / 200.0;
+        let v = f(p);
+        if v > best {
+            best = v;
+            best_p = p;
+        }
+    }
+    // Ternary refinement in the bracketing interval.
+    let mut lo = (best_p - 0.01).max(0.0);
+    let mut hi = (best_p + 0.01).min(1.0);
+    for _ in 0..60 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if f(m1) < f(m2) {
+            lo = m1;
+        } else {
+            hi = m2;
+        }
+    }
+    let p = (lo + hi) / 2.0;
+    OptimalAttack { p, affected: f(p) }
+}
+
+/// The paper's worst-case false-positive bound `N_f`: benign beacons
+/// revoked due to undetected wormholes plus colluding malicious reporters —
+/// `N_f = ((1 − p_d) N_w + N_a (τ + 1)) / (τ′ + 1)`.
+///
+/// # Panics
+///
+/// Panics unless `p_d` lies in `[0, 1]`.
+pub fn false_positives_nf(p_d: f64, n_w: u64, n_a: u64, tau: u32, tau_prime: u32) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p_d),
+        "p_d must be in [0,1], got {p_d}"
+    );
+    ((1.0 - p_d) * n_w as f64 + n_a as f64 * (tau as f64 + 1.0)) / (tau_prime as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POP: NetworkPopulation = NetworkPopulation {
+        total: 1000,
+        beacons: 100,
+        malicious: 10,
+    };
+
+    #[test]
+    fn zero_p_zero_impact() {
+        assert_eq!(affected_nonbeacons(0.0, 8, 2, 10, POP), 0.0);
+    }
+
+    #[test]
+    fn small_p_escapes_revocation() {
+        // At tiny P the beacon is almost never revoked, so N' ~ P * Nc * 0.9.
+        let n = affected_nonbeacons(0.01, 8, 2, 10, POP);
+        assert!((n - 0.01 * 10.0 * 0.9).abs() < 0.01, "got {n}");
+    }
+
+    #[test]
+    fn fig8_has_interior_maximum() {
+        // N'(P) rises, peaks, then falls as revocation bites: the curve of
+        // Fig. 8 is unimodal with an interior max.
+        let grid: Vec<f64> = (0..=20)
+            .map(|i| affected_nonbeacons(i as f64 / 20.0, 8, 2, 100, POP))
+            .collect();
+        let max_idx = grid
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(max_idx > 0, "max at P=0");
+        // The end value must be below the peak (revocation wins eventually).
+        assert!(grid[20] < grid[max_idx]);
+    }
+
+    #[test]
+    fn larger_m_reduces_peak_damage() {
+        // Fig. 8's message: more detecting IDs, fewer poisoned sensors.
+        let peak = |m: u32| max_affected_over_p(m, 2, 100, POP).affected;
+        assert!(peak(8) < peak(4));
+        assert!(peak(4) < peak(1));
+    }
+
+    #[test]
+    fn larger_tau_prime_increases_peak_damage() {
+        // Fig. 8's other message: a laxer revocation threshold helps the
+        // attacker.
+        let peak = |tp: u32| max_affected_over_p(8, tp, 100, POP).affected;
+        assert!(peak(4) > peak(2));
+        assert!(peak(2) > peak(1));
+    }
+
+    #[test]
+    fn fig9_damage_peaks_then_drops_with_nc() {
+        // Fig. 9: N' grows with N_c at first, "begins to drop quickly"
+        // once enough requesters make revocation near-certain, then levels.
+        let vals: Vec<f64> = [1u64, 5, 10, 20, 50, 100, 200]
+            .iter()
+            .map(|&nc| max_affected_over_p(8, 2, nc, POP).affected)
+            .collect();
+        let peak = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(vals[0] < peak, "damage should rise initially");
+        assert!(
+            *vals.last().unwrap() < peak,
+            "damage should fall at large Nc: {vals:?}"
+        );
+    }
+
+    #[test]
+    fn optimal_attack_internally_consistent() {
+        let opt = max_affected_over_p(8, 2, 10, POP);
+        assert!((0.0..=1.0).contains(&opt.p));
+        let direct = affected_nonbeacons(opt.p, 8, 2, 10, POP);
+        assert!((opt.affected - direct).abs() < 1e-9);
+        // No grid point beats the refined optimum.
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            assert!(affected_nonbeacons(p, 8, 2, 10, POP) <= opt.affected + 1e-6);
+        }
+    }
+
+    #[test]
+    fn nf_formula_reference_values() {
+        // Perfect wormhole detector, no colluders: no false positives.
+        assert_eq!(false_positives_nf(1.0, 100, 0, 2, 2), 0.0);
+        // The §4 collusion bound: Na=10, tau=2, tau'=2 => 10 victims.
+        assert_eq!(false_positives_nf(1.0, 0, 10, 2, 2), 10.0);
+        // Combined: ((1-0.9)*10 + 10*3)/3 = 31/3.
+        let nf = false_positives_nf(0.9, 10, 10, 2, 2);
+        assert!((nf - 31.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nf_tradeoff_directions() {
+        // §3.2: decreasing tau or increasing tau' reduces false positives.
+        assert!(false_positives_nf(0.9, 10, 10, 1, 2) < false_positives_nf(0.9, 10, 10, 2, 2));
+        assert!(false_positives_nf(0.9, 10, 10, 2, 3) < false_positives_nf(0.9, 10, 10, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn nf_rejects_bad_pd() {
+        false_positives_nf(1.5, 1, 1, 1, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Closed-form analysis of the detection and revocation schemes.
+//!
+//! This crate evaluates every formula in §2.3 and §3.2 of the reproduced
+//! paper, in the same notation:
+//!
+//! | Symbol | Meaning | Here |
+//! |---|---|---|
+//! | `P` | probability a requester receives *and keeps* a malicious signal, `(1−p_n)(1−p_w)(1−p_l)` | [`acceptance_probability`] |
+//! | `P_r` | probability a detecting node detects a malicious beacon, `1−(1−P)^m` | [`detection_rate_pr`] |
+//! | `P_a` | probability one requester produces an alert at the base station | [`alert_probability`] |
+//! | `P_d` | probability a malicious beacon is revoked | [`revocation_rate_pd`] |
+//! | `N′` | expected non-beacon nodes still poisoned after revocation | [`affected_nonbeacons`] |
+//! | `N_f` | worst-case benign beacons revoked (false positives) | [`false_positives_nf`] |
+//! | `P_o` | probability a benign reporter's report counter exceeds τ | [`report_counter_overflow_po`] |
+//!
+//! The binomial machinery lives in [`binomial`] and works in log space, so
+//! tails are accurate for the paper's `N = 10 000`-node settings.
+//!
+//! # Examples
+//!
+//! Reproduce one point of Fig. 5 (`m = 8`, `P = 0.1`):
+//!
+//! ```
+//! let pr = secloc_analysis::detection_rate_pr(0.1, 8);
+//! assert!((pr - (1.0 - 0.9f64.powi(8))).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod confidence;
+mod detection;
+mod impact;
+pub mod overhead;
+mod report_counter;
+mod revocation;
+pub mod roc;
+
+pub use confidence::{wilson95, wilson_interval, Interval};
+pub use detection::{acceptance_probability, detection_rate_pr};
+pub use impact::{affected_nonbeacons, false_positives_nf, max_affected_over_p, OptimalAttack};
+pub use report_counter::{report_counter_overflow_po, ReportCounterModel};
+pub use revocation::{alert_probability, revocation_rate_pd, NetworkPopulation};

@@ -1,0 +1,197 @@
+//! Communication-overhead model (§2.3 and §3.2 "Overheads" paragraphs).
+//!
+//! The paper argues its costs are practical: beacon signals are unicast
+//! (instead of broadcast) so detection "sacrifices a certain amount of
+//! communication overhead for security", each node "usually only needs to
+//! communicate with a few other nodes within its communication range", and
+//! revocation adds "only a limited number of alerts". This module turns
+//! those paragraphs into numbers so the trade-off can be tabulated (see
+//! the `table_overheads` bench target).
+//!
+//! Message accounting per §2's protocols:
+//!
+//! - a *probe* (detection or location discovery) is a 3-message exchange:
+//!   request, beacon reply, and the `t3 − t2` timestamp report the RTT
+//!   computation needs (Fig. 3);
+//! - a detecting beacon probes each audible beacon under each of its `m`
+//!   detecting IDs;
+//! - a sensor probes each audible beacon once;
+//! - an alert travels `hops` radio hops to the base station;
+//! - a revocation is flooded network-wide (one rebroadcast per node) or
+//!   μTESLA-broadcast from the base station.
+
+/// Parameters of the overhead computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Total nodes `N`.
+    pub nodes: u64,
+    /// Beacon nodes `N_b`.
+    pub beacons: u64,
+    /// Malicious beacons `N_a`.
+    pub malicious: u64,
+    /// Detecting IDs per beacon `m`.
+    pub detecting_ids: u32,
+    /// Average beacons audible from a node (the beacon-side of `N_c`).
+    pub avg_audible_beacons: f64,
+    /// Average radio hops from a node to the base station.
+    pub avg_hops_to_base: f64,
+    /// Report cap τ (bounds accepted alerts per reporter).
+    pub tau: u32,
+}
+
+impl OverheadModel {
+    /// The reconstructed §4 deployment: 1000 nodes, 100 beacons, ~7 audible
+    /// beacons per node (π·150²/10⁶ × 100), ~4 hops across a 1000 ft field
+    /// at 150 ft range.
+    pub fn paper_default() -> Self {
+        OverheadModel {
+            nodes: 1000,
+            beacons: 100,
+            malicious: 10,
+            detecting_ids: 8,
+            avg_audible_beacons: 7.0,
+            avg_hops_to_base: 4.0,
+            tau: 2,
+        }
+    }
+
+    /// Messages in one full detection round: every benign beacon probes
+    /// every audible beacon under every detecting ID, 3 messages each.
+    pub fn detection_messages(&self) -> f64 {
+        let detectors = (self.beacons - self.malicious) as f64;
+        detectors * self.avg_audible_beacons * self.detecting_ids as f64 * 3.0
+    }
+
+    /// Messages for one round of location discovery: every non-beacon
+    /// probes every audible beacon once, 3 messages each.
+    pub fn localization_messages(&self) -> f64 {
+        let sensors = (self.nodes - self.beacons) as f64;
+        sensors * self.avg_audible_beacons * 3.0
+    }
+
+    /// The unicast-vs-broadcast price of §2.3: a broadcast-based scheme
+    /// would serve all listeners of a beacon with a single signal, so the
+    /// per-round beacon-signal overhead factor is the average audience
+    /// size of one beacon.
+    pub fn unicast_overhead_factor(&self) -> f64 {
+        // Each beacon's audience: nodes that can hear it, ~ avg_audible
+        // scaled by population ratio.
+        self.avg_audible_beacons * (self.nodes as f64 / self.beacons as f64)
+    }
+
+    /// Worst-case alert-report messages: every reporter spends its full
+    /// accepted budget `τ + 1`, each alert travelling `avg_hops_to_base`.
+    pub fn alert_messages_worst_case(&self) -> f64 {
+        self.beacons as f64 * (self.tau as f64 + 1.0) * self.avg_hops_to_base
+    }
+
+    /// Expected alert messages when each benign detector alerts on each
+    /// audible malicious beacon with probability `p_r` (capped by τ + 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_r` is in `[0, 1]`.
+    pub fn alert_messages_expected(&self, p_r: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p_r),
+            "P_r must be in [0,1], got {p_r}"
+        );
+        let detectors = (self.beacons - self.malicious) as f64;
+        let audible_malicious =
+            self.avg_audible_beacons * self.malicious as f64 / self.beacons as f64;
+        let per_detector = (audible_malicious * p_r).min(self.tau as f64 + 1.0);
+        detectors * per_detector * self.avg_hops_to_base
+    }
+
+    /// Messages to disseminate one revocation by naive flooding: every
+    /// node rebroadcasts once.
+    pub fn revocation_flood_messages(&self) -> f64 {
+        self.nodes as f64
+    }
+
+    /// Messages to disseminate one revocation via μTESLA broadcast: the
+    /// base station sends the message and, one interval later, the key —
+    /// each flooded once.
+    pub fn revocation_mutesla_messages(&self) -> f64 {
+        2.0 * self.nodes as f64
+    }
+
+    /// Per-node storage for the μTESLA receiver state, in bytes
+    /// (commitment key + anchor interval + a small buffer of `buffered`
+    /// 32-byte messages).
+    pub fn mutesla_receiver_bytes(&self, buffered: u64) -> u64 {
+        16 + 8 + buffered * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_magnitudes() {
+        let m = OverheadModel::paper_default();
+        // 90 detectors * 7 beacons * 8 IDs * 3 msgs = 15 120.
+        assert!((m.detection_messages() - 15_120.0).abs() < 1e-9);
+        // 900 sensors * 7 beacons * 3 = 18 900.
+        assert!((m.localization_messages() - 18_900.0).abs() < 1e-9);
+        // Both are O(10^4) for a 10^3-node network: "practical".
+        assert!(m.detection_messages() < 20_000.0);
+    }
+
+    #[test]
+    fn detection_scales_linearly_in_m() {
+        let base = OverheadModel::paper_default();
+        let double = OverheadModel {
+            detecting_ids: 16,
+            ..base
+        };
+        assert!((double.detection_messages() / base.detection_messages() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alert_budget_caps_expected_reports() {
+        let m = OverheadModel::paper_default();
+        // With P_r = 1 each detector sees 0.7 audible malicious beacons on
+        // average — under the cap, so expected < worst case.
+        assert!(m.alert_messages_expected(1.0) < m.alert_messages_worst_case());
+        assert_eq!(m.alert_messages_expected(0.0), 0.0);
+        // Saturate the cap artificially.
+        let crowded = OverheadModel {
+            avg_audible_beacons: 70.0,
+            ..m
+        };
+        let per_detector_cap = (crowded.tau as f64 + 1.0) * crowded.avg_hops_to_base;
+        let detectors = (crowded.beacons - crowded.malicious) as f64;
+        assert!((crowded.alert_messages_expected(1.0) - detectors * per_detector_cap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alert_expected_monotone_in_pr() {
+        let m = OverheadModel::paper_default();
+        assert!(m.alert_messages_expected(0.8) >= m.alert_messages_expected(0.2));
+    }
+
+    #[test]
+    fn mutesla_costs_twice_flooding_but_authenticated() {
+        let m = OverheadModel::paper_default();
+        assert_eq!(
+            m.revocation_mutesla_messages(),
+            2.0 * m.revocation_flood_messages()
+        );
+        assert_eq!(m.mutesla_receiver_bytes(4), 16 + 8 + 128);
+    }
+
+    #[test]
+    fn unicast_factor_is_audience_size() {
+        let m = OverheadModel::paper_default();
+        // 7 audible beacons per node * 10 nodes per beacon = 70 listeners.
+        assert!((m.unicast_overhead_factor() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn expected_alerts_validates_pr() {
+        OverheadModel::paper_default().alert_messages_expected(2.0);
+    }
+}

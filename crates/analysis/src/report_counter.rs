@@ -1,0 +1,176 @@
+//! Report-counter overflow probability `P_o` (§3.2, Fig. 10).
+//!
+//! The thresholds must be set so that a *benign* beacon's report counter
+//! almost never exceeds τ — otherwise its genuine alerts get dropped. The
+//! paper models a benign beacon's accepted alerts as the sum of two
+//! binomials:
+//!
+//! - against each of the `N_a` malicious beacons, an alert is produced with
+//!   probability `P_1 = P_r · (N_c / N) · (1 − P_d)` (the malicious node
+//!   must be among the nodes it contacts, be detected, and not already be
+//!   revoked);
+//! - for each of the `N_w` wormholes among benign beacons, a false alert
+//!   slips out with probability
+//!   `P_2 = q_w · (1 − p_d) · (1 − N_f / (N_b − N_a))` where `q_w` is the
+//!   chance this wormhole involves the reporter (the OCR of the source
+//!   drops this factor; we reconstruct it as `2 / (N_b − N_a)` since a
+//!   wormhole has two benign endpoints — see `DESIGN.md`).
+//!
+//! Then `P_o(τ) = P(X + Y > τ)` with `X ~ Binom(N_a, P_1)`,
+//! `Y ~ Binom(N_w, P_2)`.
+
+use crate::binomial::convolved_tail_above;
+use crate::detection_rate_pr;
+use crate::impact::false_positives_nf;
+use crate::revocation::{revocation_rate_pd, NetworkPopulation};
+
+/// Inputs to the `P_o` computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportCounterModel {
+    /// Node population.
+    pub population: NetworkPopulation,
+    /// Wormholes among benign beacons, `N_w`.
+    pub wormholes: u64,
+    /// Wormhole-detector detection rate `p_d`.
+    pub wormhole_detection_rate: f64,
+    /// Detecting IDs per beacon, `m`.
+    pub detecting_ids: u32,
+    /// Requesting nodes per beacon, `N_c`.
+    pub requesters_per_beacon: u64,
+    /// Attacker acceptance probability `P`.
+    pub attacker_p: f64,
+    /// Revocation threshold τ′ (needed for `P_d` and `N_f`).
+    pub tau_prime: u32,
+    /// Report cap τ (needed for `N_f`).
+    pub tau: u32,
+}
+
+impl ReportCounterModel {
+    /// The Fig. 10 configuration: `N = 10 000`, `N_b = 100`, `N_a = 10`,
+    /// `N_w = 10`, `p_d = 0.9`, `τ′ = 2`, `m = 8`, `P = 0.1`.
+    pub fn paper_fig10(n_c: u64, tau: u32) -> Self {
+        ReportCounterModel {
+            population: NetworkPopulation::paper_analysis(),
+            wormholes: 10,
+            wormhole_detection_rate: 0.9,
+            detecting_ids: 8,
+            requesters_per_beacon: n_c,
+            attacker_p: 0.1,
+            tau_prime: 2,
+            tau,
+        }
+    }
+
+    /// `P_1`: per-malicious-node probability of one accepted alert.
+    pub fn p1(&self) -> f64 {
+        let pop = self.population.validate();
+        let pr = detection_rate_pr(self.attacker_p, self.detecting_ids);
+        let pd = revocation_rate_pd(
+            self.attacker_p,
+            self.detecting_ids,
+            self.tau_prime,
+            self.requesters_per_beacon,
+            pop,
+        );
+        pr * (self.requesters_per_beacon as f64 / pop.total as f64) * (1.0 - pd)
+    }
+
+    /// `P_2`: per-wormhole probability of one accepted (false) alert.
+    pub fn p2(&self) -> f64 {
+        let pop = self.population.validate();
+        let benign = pop.benign_beacons() as f64;
+        let nf = false_positives_nf(
+            self.wormhole_detection_rate,
+            self.wormholes,
+            pop.malicious,
+            self.tau,
+            self.tau_prime,
+        )
+        .min(benign);
+        let q_w = (2.0 / benign).min(1.0);
+        q_w * (1.0 - self.wormhole_detection_rate) * (1.0 - nf / benign)
+    }
+}
+
+/// The paper's `P_o`: probability a benign beacon's report counter exceeds
+/// τ, i.e. some of its genuine alerts would be ignored (Fig. 10).
+pub fn report_counter_overflow_po(model: &ReportCounterModel, tau: u32) -> f64 {
+    let pop = model.population.validate();
+    convolved_tail_above(
+        pop.malicious,
+        model.p1(),
+        model.wormholes,
+        model.p2(),
+        tau as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_po_near_zero_at_tau_two() {
+        // The paper's headline: "the probability of the report counter of a
+        // benign beacon node exceeding 2 is close to zero", so (τ, τ′) =
+        // (2, 2) is a sound candidate pair.
+        for n_c in [1u64, 5, 10, 15, 20] {
+            let m = ReportCounterModel::paper_fig10(n_c, 2);
+            let po = report_counter_overflow_po(&m, 2);
+            assert!(po < 1e-3, "N_c={n_c}: P_o={po}");
+        }
+    }
+
+    #[test]
+    fn po_decreasing_in_tau() {
+        let m = ReportCounterModel::paper_fig10(20, 2);
+        let po: Vec<f64> = (0..5).map(|t| report_counter_overflow_po(&m, t)).collect();
+        for w in po.windows(2) {
+            assert!(w[0] >= w[1], "P_o must fall with tau: {po:?}");
+        }
+    }
+
+    #[test]
+    fn po_at_tau_zero_is_meaningful() {
+        // With tau = 0 a single accepted alert overflows; the probability
+        // must be visibly positive (some wormhole/malicious encounters).
+        let m = ReportCounterModel::paper_fig10(20, 0);
+        let po = report_counter_overflow_po(&m, 0);
+        assert!(po > 1e-4, "got {po}");
+        assert!(po < 0.5, "got {po}");
+    }
+
+    #[test]
+    fn p1_increases_with_nc_until_revocation_bites() {
+        let p1_small = ReportCounterModel::paper_fig10(5, 2).p1();
+        let p1_mid = ReportCounterModel::paper_fig10(20, 2).p1();
+        assert!(p1_mid > p1_small);
+        // "malicious beacon nodes cannot increase this probability by
+        // simply having more requesting nodes contact it": at very large
+        // N_c revocation makes 1 - P_d collapse.
+        let p1_huge = ReportCounterModel::paper_fig10(2000, 2).p1();
+        assert!(p1_huge < p1_mid, "revocation should cap P_1");
+    }
+
+    #[test]
+    fn p2_scales_with_detector_misses() {
+        let mut m = ReportCounterModel::paper_fig10(10, 2);
+        let base = m.p2();
+        m.wormhole_detection_rate = 0.5;
+        assert!(m.p2() > base);
+        m.wormhole_detection_rate = 1.0;
+        assert_eq!(m.p2(), 0.0);
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        for n_c in [1u64, 10, 100, 1000] {
+            for tau in 0..4 {
+                let m = ReportCounterModel::paper_fig10(n_c, tau);
+                for v in [m.p1(), m.p2(), report_counter_overflow_po(&m, tau)] {
+                    assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Revocation-level probabilities (§3.2).
+
+use crate::binomial;
+use crate::detection_rate_pr;
+
+/// The node population the revocation analysis is parameterised on.
+///
+/// §3.2: `N` sensor nodes total, `N_b` beacon nodes of which `N_a` are
+/// malicious; the analysis figures "always assume 10% of sensor nodes are
+/// benign beacon nodes".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkPopulation {
+    /// Total sensor nodes `N`.
+    pub total: u64,
+    /// Beacon nodes `N_b`.
+    pub beacons: u64,
+    /// Malicious beacon nodes `N_a`.
+    pub malicious: u64,
+}
+
+impl NetworkPopulation {
+    /// The §4 simulation population: `N = 1000`, `N_b = 100`, `N_a = 10`.
+    pub fn paper_simulation() -> Self {
+        NetworkPopulation {
+            total: 1000,
+            beacons: 100,
+            malicious: 10,
+        }
+    }
+
+    /// The §3.2 analysis population used in Fig. 10:
+    /// `N = 10 000`, `N_b = 100`, `N_a = 10`.
+    pub fn paper_analysis() -> Self {
+        NetworkPopulation {
+            total: 10_000,
+            beacons: 100,
+            malicious: 10,
+        }
+    }
+
+    /// Benign beacon count `N_b − N_a`.
+    pub fn benign_beacons(&self) -> u64 {
+        self.beacons - self.malicious
+    }
+
+    /// Non-beacon sensor count `N − N_b`.
+    pub fn non_beacons(&self) -> u64 {
+        self.total - self.beacons
+    }
+
+    /// Validates the internal ordering invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `malicious ≤ beacons ≤ total` and `total > 0`.
+    pub fn validate(&self) -> Self {
+        assert!(self.total > 0, "empty network");
+        assert!(
+            self.malicious <= self.beacons && self.beacons <= self.total,
+            "population ordering violated: {self:?}"
+        );
+        *self
+    }
+}
+
+/// The paper's `P_a`: for any single requesting node of a malicious beacon,
+/// the probability that the base station receives an alert from it —
+/// `P_a = (N_b − N_a) · P_r / N` (the requester must be a benign beacon
+/// acting as a detector, and it must detect).
+pub fn alert_probability(p: f64, m: u32, pop: NetworkPopulation) -> f64 {
+    pop.validate();
+    let pr = detection_rate_pr(p, m);
+    pop.benign_beacons() as f64 / pop.total as f64 * pr
+}
+
+/// The paper's `P_d`: probability a malicious beacon contacted by `n_c`
+/// requesting nodes accumulates more than `τ′` alerts and is revoked —
+/// `P_d = 1 − Σ_{i=0}^{τ'} C(N_c, i) P_a^i (1 − P_a)^{N_c − i}`
+/// (Figs. 6, 7, 12).
+///
+/// Assumes τ is large enough that reporter budgets don't bite, as the
+/// paper's analysis does; the simulation crate measures the budget effect.
+pub fn revocation_rate_pd(p: f64, m: u32, tau_prime: u32, n_c: u64, pop: NetworkPopulation) -> f64 {
+    let pa = alert_probability(p, m, pop);
+    binomial::tail_above(n_c, tau_prime as u64, pa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POP: NetworkPopulation = NetworkPopulation {
+        total: 1000,
+        beacons: 100,
+        malicious: 10,
+    };
+
+    #[test]
+    fn populations_consistent() {
+        assert_eq!(POP.benign_beacons(), 90);
+        assert_eq!(POP.non_beacons(), 900);
+        let sim = NetworkPopulation::paper_simulation();
+        // "10% of sensor nodes are benign beacon nodes" (approximately).
+        let frac = sim.benign_beacons() as f64 / sim.total as f64;
+        assert!((frac - 0.1).abs() < 0.011, "got {frac}");
+    }
+
+    #[test]
+    fn alert_probability_formula() {
+        let pa = alert_probability(0.2, 8, POP);
+        let pr = detection_rate_pr(0.2, 8);
+        assert!((pa - 0.09 * pr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pd_monotone_in_p_and_nc() {
+        let f = |p: f64, nc: u64| revocation_rate_pd(p, 8, 2, nc, POP);
+        assert!(f(0.3, 10) > f(0.1, 10));
+        assert!(f(0.2, 50) > f(0.2, 10));
+    }
+
+    #[test]
+    fn pd_decreases_with_tau_prime() {
+        let f = |tp: u32| revocation_rate_pd(0.3, 8, tp, 10, POP);
+        assert!(f(1) > f(2));
+        assert!(f(2) > f(3));
+        assert!(f(3) > f(4));
+    }
+
+    #[test]
+    fn pd_increases_with_m() {
+        let f = |m: u32| revocation_rate_pd(0.3, m, 2, 10, POP);
+        assert!(f(2) > f(1));
+        assert!(f(8) > f(4));
+    }
+
+    #[test]
+    fn fig6_shape_saturates_at_high_p() {
+        // Fig. 6 (N_c = 100): detection rate rises quickly with P — ~0.9
+        // already at P = 0.1 — and plateaus near 1.
+        let at_p01 = revocation_rate_pd(0.1, 8, 2, 100, POP);
+        let high = revocation_rate_pd(1.0, 8, 2, 100, POP);
+        assert!((at_p01 - 0.89).abs() < 0.05, "P=0.1 rate {at_p01}");
+        assert!(high > 0.99, "plateau {high}");
+    }
+
+    #[test]
+    fn fig7_large_nc_drives_pd_to_one() {
+        // Fig. 7: with P = 0.1 and enough requesters the revocation becomes
+        // nearly certain.
+        let pd = revocation_rate_pd(0.1, 8, 2, 200, POP);
+        assert!(pd > 0.95, "got {pd}");
+        let pd_small = revocation_rate_pd(0.1, 8, 2, 5, POP);
+        assert!(pd_small < 0.5, "got {pd_small}");
+    }
+
+    #[test]
+    fn zero_p_means_never_revoked() {
+        assert_eq!(revocation_rate_pd(0.0, 8, 2, 100, POP), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering violated")]
+    fn invalid_population_rejected() {
+        NetworkPopulation {
+            total: 10,
+            beacons: 20,
+            malicious: 0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the closed-form analysis.
+
+use proptest::prelude::*;
+use secloc_analysis::binomial;
+use secloc_analysis::{
+    acceptance_probability, affected_nonbeacons, detection_rate_pr, false_positives_nf,
+    max_affected_over_p, report_counter_overflow_po, revocation_rate_pd, NetworkPopulation,
+    ReportCounterModel,
+};
+
+fn population() -> impl Strategy<Value = NetworkPopulation> {
+    (10u64..2000, 0.01..0.3f64, 0.0..0.9f64).prop_map(|(total, beacon_frac, mal_frac)| {
+        let beacons = ((total as f64 * beacon_frac) as u64).max(1);
+        let malicious = (beacons as f64 * mal_frac) as u64;
+        NetworkPopulation {
+            total,
+            beacons,
+            malicious,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn pr_in_unit_interval_and_monotone(p in 0.0..1.0f64, m in 0u32..32) {
+        let v = detection_rate_pr(p, m);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(detection_rate_pr(p, m + 1) >= v - 1e-12);
+    }
+
+    #[test]
+    fn acceptance_at_most_each_factor(
+        p_n in 0.0..1.0f64,
+        p_w in 0.0..1.0f64,
+        p_l in 0.0..1.0f64,
+    ) {
+        let p = acceptance_probability(p_n, p_w, p_l);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(p <= 1.0 - p_n + 1e-12);
+        prop_assert!(p <= 1.0 - p_w + 1e-12);
+        prop_assert!(p <= 1.0 - p_l + 1e-12);
+    }
+
+    #[test]
+    fn pd_is_probability_and_monotone_in_nc(
+        pop in population(),
+        p in 0.0..1.0f64,
+        m in 1u32..16,
+        tp in 0u32..5,
+        nc in 1u64..300,
+    ) {
+        let v = revocation_rate_pd(p, m, tp, nc, pop);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let v2 = revocation_rate_pd(p, m, tp, nc + 50, pop);
+        prop_assert!(v2 >= v - 1e-9);
+    }
+
+    #[test]
+    fn affected_bounded_by_expected_requester_share(
+        pop in population(),
+        p in 0.0..1.0f64,
+        m in 1u32..16,
+        tp in 0u32..5,
+        nc in 1u64..300,
+    ) {
+        let n = affected_nonbeacons(p, m, tp, nc, pop);
+        prop_assert!(n >= 0.0);
+        // Can never exceed the expected number of non-beacon requesters.
+        let ceiling = nc as f64 * pop.non_beacons() as f64 / pop.total as f64;
+        prop_assert!(n <= ceiling + 1e-9);
+    }
+
+    #[test]
+    fn optimal_attack_dominates_grid(
+        pop in population(),
+        m in 1u32..10,
+        tp in 0u32..4,
+        nc in 1u64..200,
+    ) {
+        let opt = max_affected_over_p(m, tp, nc, pop);
+        prop_assert!((0.0..=1.0).contains(&opt.p));
+        for i in 0..=50 {
+            let p = i as f64 / 50.0;
+            prop_assert!(
+                affected_nonbeacons(p, m, tp, nc, pop) <= opt.affected + 1e-6,
+                "P={p} beats optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn nf_monotonicity(pd in 0.0..1.0f64, nw in 0u64..100, na in 0u64..50, tau in 0u32..5, tp in 0u32..5) {
+        let base = false_positives_nf(pd, nw, na, tau, tp);
+        prop_assert!(base >= 0.0);
+        prop_assert!(false_positives_nf(pd, nw, na, tau + 1, tp) >= base);
+        prop_assert!(false_positives_nf(pd, nw, na, tau, tp + 1) <= base);
+        prop_assert!(false_positives_nf(pd, nw + 1, na, tau, tp) >= base);
+    }
+
+    #[test]
+    fn po_is_probability_and_falls_with_tau(nc in 1u64..300, tau in 0u32..5) {
+        let model = ReportCounterModel::paper_fig10(nc, tau);
+        let v = report_counter_overflow_po(&model, tau);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(report_counter_overflow_po(&model, tau + 1) <= v + 1e-12);
+    }
+
+    #[test]
+    fn binomial_pmf_normalises(n in 0u64..400, p in 0.0..1.0f64) {
+        let total: f64 = (0..=n).map(|k| binomial::pmf(n, k, p)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "n={n} p={p} total={total}");
+    }
+
+    #[test]
+    fn binomial_tail_plus_cdf_is_one(n in 1u64..400, p in 0.0..1.0f64, kf in 0.0..1.0f64) {
+        let k = (n as f64 * kf) as u64;
+        let s = binomial::tail_above(n, k, p) + binomial::cdf(n, k, p);
+        prop_assert!((s - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn convolution_matches_independent_monte_carlo_free_identity(
+        n1 in 0u64..30,
+        n2 in 0u64..30,
+        p1 in 0.0..1.0f64,
+        p2 in 0.0..1.0f64,
+        t in 0u64..60,
+    ) {
+        // Exhaustive identity: tail + mass-below == 1.
+        let tail = binomial::convolved_tail_above(n1, p1, n2, p2, t);
+        let mut below = 0.0;
+        for j in 0..=n1.min(t) {
+            for k in 0..=n2 {
+                if j + k <= t {
+                    below += binomial::pmf(n1, j, p1) * binomial::pmf(n2, k, p2);
+                }
+            }
+        }
+        // Add mass where j > t (impossible to be <= t) — none.
+        prop_assert!((tail + below - 1.0).abs() < 1e-8, "tail={tail} below={below}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Colluding alert-spam against the revocation scheme (§3.2, §4).
+
+use secloc_crypto::NodeId;
+
+/// The strategy colluding malicious beacons use against the base station:
+/// since each reporter's accepted alerts are capped at `τ + 1` (the report
+/// counter must not have *exceeded* `τ` when an alert arrives), the best
+/// they can do is spend the whole budget on benign victims, concentrated so
+/// every `τ′ + 1` alerts revoke one victim.
+///
+/// "They can always make the base station revoke about
+/// `N_a (τ+1) / (τ′+1)` benign beacon nodes by simply reporting alerts"
+/// (§4). [`CollusionPolicy::expected_revocations`] is that bound;
+/// [`CollusionPolicy::alerts`] emits the concrete alert stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollusionPolicy {
+    /// The base station's per-reporter cap τ.
+    pub tau: u32,
+    /// The base station's revocation threshold τ′.
+    pub tau_prime: u32,
+}
+
+impl CollusionPolicy {
+    /// Creates a policy tuned against thresholds `(τ, τ′)`.
+    pub fn new(tau: u32, tau_prime: u32) -> Self {
+        CollusionPolicy { tau, tau_prime }
+    }
+
+    /// Alerts each malicious beacon can have accepted: `τ + 1`.
+    pub fn budget_per_reporter(&self) -> u32 {
+        self.tau + 1
+    }
+
+    /// Alerts needed to revoke one victim: `τ′ + 1`.
+    pub fn cost_per_revocation(&self) -> u32 {
+        self.tau_prime + 1
+    }
+
+    /// The paper's bound on benign beacons revoked through collusion.
+    pub fn expected_revocations(&self, num_malicious: usize) -> usize {
+        (num_malicious * self.budget_per_reporter() as usize) / self.cost_per_revocation() as usize
+    }
+
+    /// Generates the colluders' alert stream: `(reporter, target)` pairs,
+    /// concentrating fire so victims fall one after another. Victims are
+    /// taken in the order given; malicious beacons never accuse each other
+    /// ("since this will increase the probability of a malicious beacon
+    /// node being detected", §3.2).
+    pub fn alerts(&self, colluders: &[NodeId], victims: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        if victims.is_empty() {
+            return out;
+        }
+        let mut victim_iter = 0usize;
+        let mut shots_on_current = 0u32;
+        'outer: for &c in colluders {
+            for _ in 0..self.budget_per_reporter() {
+                if victim_iter >= victims.len() {
+                    break 'outer;
+                }
+                out.push((c, victims[victim_iter]));
+                shots_on_current += 1;
+                if shots_on_current >= self.cost_per_revocation() {
+                    shots_on_current = 0;
+                    victim_iter += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    #[test]
+    fn budgets_and_costs() {
+        let p = CollusionPolicy::new(2, 2);
+        assert_eq!(p.budget_per_reporter(), 3);
+        assert_eq!(p.cost_per_revocation(), 3);
+        assert_eq!(p.expected_revocations(10), 10);
+    }
+
+    #[test]
+    fn paper_bound_examples() {
+        // tau=2, tau'=4: 10 colluders * 3 alerts / 5 per kill = 6 victims.
+        assert_eq!(CollusionPolicy::new(2, 4).expected_revocations(10), 6);
+        assert_eq!(CollusionPolicy::new(3, 2).expected_revocations(5), 6);
+    }
+
+    #[test]
+    fn alert_stream_respects_budget() {
+        let p = CollusionPolicy::new(2, 2);
+        let colluders = ids(0..4);
+        let victims = ids(100..200);
+        let alerts = p.alerts(&colluders, &victims);
+        for c in &colluders {
+            let reported = alerts.iter().filter(|(r, _)| r == c).count();
+            assert!(reported <= p.budget_per_reporter() as usize);
+        }
+    }
+
+    #[test]
+    fn alert_stream_concentrates_fire() {
+        let p = CollusionPolicy::new(2, 2);
+        let colluders = ids(0..4);
+        let victims = ids(100..200);
+        let alerts = p.alerts(&colluders, &victims);
+        // First victim gets exactly cost_per_revocation alerts before any
+        // later victim is touched.
+        let first: Vec<_> = alerts.iter().take(3).map(|(_, t)| *t).collect();
+        assert_eq!(first, vec![NodeId(100); 3]);
+        // Expected revocation count achieved: 4*3/3 = 4 victims fully hit.
+        let fully_hit = (100..200)
+            .filter(|&v| alerts.iter().filter(|(_, t)| *t == NodeId(v)).count() >= 3)
+            .count();
+        assert_eq!(fully_hit, p.expected_revocations(4));
+    }
+
+    #[test]
+    fn colluders_never_accuse_each_other() {
+        let p = CollusionPolicy::new(2, 3);
+        let colluders = ids(0..5);
+        let victims = ids(50..60);
+        for (r, t) in p.alerts(&colluders, &victims) {
+            assert!(colluders.contains(&r));
+            assert!(victims.contains(&t));
+            assert!(!colluders.contains(&t));
+        }
+    }
+
+    #[test]
+    fn no_victims_no_alerts() {
+        let p = CollusionPolicy::new(2, 2);
+        assert!(p.alerts(&ids(0..3), &[]).is_empty());
+    }
+
+    #[test]
+    fn fewer_victims_than_budget_stops_early() {
+        let p = CollusionPolicy::new(10, 0); // budget 11 each, 1 alert kills
+        let alerts = p.alerts(&ids(0..2), &ids(100..103));
+        // Only 3 victims exist; stream stops once all are dispatched.
+        assert_eq!(alerts.len(), 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Attacker models against beacon-based location discovery.
+//!
+//! Figure 1 of the reproduced paper names three attack families, all built
+//! here, plus the adaptive evasion and collusion behaviours its analysis
+//! assumes:
+//!
+//! - [`Masquerader`] — an external attacker without keys forging beacon
+//!   packets (defeated by MAC filtering; kept as a baseline);
+//! - [`CompromisedBeacon`] — an insider beacon with valid keys following a
+//!   [`BeaconStrategy`]: it may answer honestly, send a malicious signal, or
+//!   disguise its malice as a wormhole/local replay. Decisions are a
+//!   deterministic function of the requester ID, because "the malicious
+//!   beacon node behaves in the same way for the same requesting node, which
+//!   is the best strategy for the node to avoid being detected" (§2.3);
+//! - [`Wormhole`] — a low-latency tunnel replaying benign signals between
+//!   two far-apart field locations (§2.2.1);
+//! - [`LocalReplayer`] — a store-and-forward replayer of a neighbour's
+//!   signal, paying at least one whole packet time of delay (§2.2.2);
+//! - [`CollusionPolicy`] — malicious beacons spending their full report
+//!   budget on alerts against benign beacons (§3.2, §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use secloc_attack::{BeaconStrategy, CompromisedBeacon, Action};
+//! use secloc_crypto::NodeId;
+//! use secloc_geometry::{Point2, Vector2};
+//!
+//! let strategy = BeaconStrategy::probabilistic(0.2, 0.3, 0.3);
+//! let beacon = CompromisedBeacon::new(
+//!     NodeId(4),
+//!     Point2::new(100.0, 100.0),
+//!     Vector2::new(250.0, 0.0),
+//!     strategy,
+//!     99, // seed
+//! );
+//! let action = beacon.decide(NodeId(500));
+//! // Same requester, same decision — the paper's best-evasion assumption.
+//! assert_eq!(action, beacon.decide(NodeId(500)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod beacon;
+mod collusion;
+mod masquerade;
+mod replayer;
+mod wormhole;
+
+pub use beacon::{Action, BeaconStrategy, CompromisedBeacon};
+pub use collusion::CollusionPolicy;
+pub use masquerade::Masquerader;
+pub use replayer::LocalReplayer;
+pub use wormhole::Wormhole;

@@ -1,0 +1,149 @@
+//! Wormhole attacks (§2.2.1).
+
+use secloc_geometry::Point2;
+use secloc_radio::Cycles;
+
+/// A wormhole: two radio taps connected by a low-latency link.
+///
+/// "An attacker tunnels packets received in one part of the network over a
+/// low latency link and replays them in a different part." The simulation's
+/// canonical instance runs between `(100, 100)` and `(800, 700)` — the
+/// reconstructed Figure-11 anchors — and "forwards every message received
+/// at one side immediately to the other side" (§4).
+///
+/// # Examples
+///
+/// ```
+/// use secloc_attack::Wormhole;
+/// use secloc_geometry::Point2;
+///
+/// let w = Wormhole::paper_default();
+/// let near_a = Point2::new(110.0, 95.0);
+/// let near_b = Point2::new(810.0, 690.0);
+/// assert!(w.tunnels(near_a, near_b, 50.0));
+/// assert!(!w.tunnels(near_a, Point2::new(500.0, 500.0), 50.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wormhole {
+    end_a: Point2,
+    end_b: Point2,
+    extra_delay: Cycles,
+}
+
+impl Wormhole {
+    /// Creates a wormhole between two tap points with a tunnel latency of
+    /// `extra_delay` (zero models the paper's "immediately").
+    pub fn new(end_a: Point2, end_b: Point2, extra_delay: Cycles) -> Self {
+        Wormhole {
+            end_a,
+            end_b,
+            extra_delay,
+        }
+    }
+
+    /// The simulation wormhole of §4: `(100,100) ↔ (800,700)`, immediate
+    /// forwarding.
+    pub fn paper_default() -> Self {
+        Wormhole::new(
+            Point2::new(100.0, 100.0),
+            Point2::new(800.0, 700.0),
+            Cycles::ZERO,
+        )
+    }
+
+    /// First tap point.
+    pub fn end_a(&self) -> Point2 {
+        self.end_a
+    }
+
+    /// Second tap point.
+    pub fn end_b(&self) -> Point2 {
+        self.end_b
+    }
+
+    /// Tunnel latency added on top of normal radio delays.
+    pub fn extra_delay(&self) -> Cycles {
+        self.extra_delay
+    }
+
+    /// If a transmitter at `src` is heard by a tap (within `capture_range`),
+    /// returns the opposite end where the signal re-enters the air.
+    pub fn exit_for(&self, src: Point2, capture_range: f64) -> Option<Point2> {
+        if src.distance(self.end_a) <= capture_range {
+            Some(self.end_b)
+        } else if src.distance(self.end_b) <= capture_range {
+            Some(self.end_a)
+        } else {
+            None
+        }
+    }
+
+    /// Whether a packet sent at `src` would be replayed within radio range
+    /// of a receiver at `dst` (both ends taken into account).
+    pub fn tunnels(&self, src: Point2, dst: Point2, range: f64) -> bool {
+        self.exit_for(src, range)
+            .is_some_and(|exit| exit.distance(dst) <= range)
+    }
+
+    /// The distance the tunnel spans — how far apart the victims believe
+    /// each other to be. A wormhole is only *useful* to an attacker when
+    /// this exceeds the radio range (otherwise the endpoints are genuine
+    /// neighbours), which is the premise of the geographic pre-check in
+    /// the paper's filtering algorithm.
+    pub fn span(&self) -> f64 {
+        self.end_a.distance(self.end_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_span_exceeds_range() {
+        let w = Wormhole::paper_default();
+        // (100,100) -> (800,700): sqrt(700^2 + 600^2) ~= 921.95 ft >> 150 ft.
+        assert!((w.span() - 921.954).abs() < 0.01);
+        assert!(w.span() > 150.0);
+        assert_eq!(w.extra_delay(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn exit_is_opposite_end() {
+        let w = Wormhole::paper_default();
+        assert_eq!(
+            w.exit_for(Point2::new(100.0, 100.0), 10.0),
+            Some(Point2::new(800.0, 700.0))
+        );
+        assert_eq!(
+            w.exit_for(Point2::new(800.0, 700.0), 10.0),
+            Some(Point2::new(100.0, 100.0))
+        );
+        assert_eq!(w.exit_for(Point2::new(450.0, 450.0), 10.0), None);
+    }
+
+    #[test]
+    fn tunnels_requires_both_ends_in_range() {
+        let w = Wormhole::paper_default();
+        let near_a = Point2::new(130.0, 100.0);
+        let near_b = Point2::new(830.0, 700.0);
+        let far = Point2::new(400.0, 400.0);
+        assert!(w.tunnels(near_a, near_b, 150.0));
+        assert!(w.tunnels(near_b, near_a, 150.0));
+        assert!(!w.tunnels(near_a, far, 150.0));
+        assert!(!w.tunnels(far, near_b, 150.0));
+    }
+
+    #[test]
+    fn capture_range_boundary_inclusive() {
+        let w = Wormhole::new(Point2::ORIGIN, Point2::new(1000.0, 0.0), Cycles::ZERO);
+        assert!(w.exit_for(Point2::new(50.0, 0.0), 50.0).is_some());
+        assert!(w.exit_for(Point2::new(50.1, 0.0), 50.0).is_none());
+    }
+
+    #[test]
+    fn custom_delay_carried() {
+        let w = Wormhole::new(Point2::ORIGIN, Point2::new(10.0, 0.0), Cycles::new(500));
+        assert_eq!(w.extra_delay(), Cycles::new(500));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the attacker models.
+
+use proptest::prelude::*;
+use secloc_attack::{Action, BeaconStrategy, CollusionPolicy, CompromisedBeacon, Wormhole};
+use secloc_crypto::NodeId;
+use secloc_geometry::{Point2, Vector2};
+use secloc_radio::Cycles;
+
+proptest! {
+    #[test]
+    fn acceptance_probability_formula_holds(
+        p_n in 0.0..1.0f64,
+        p_w in 0.0..1.0f64,
+        p_l in 0.0..1.0f64,
+    ) {
+        let s = BeaconStrategy::probabilistic(p_n, p_w, p_l);
+        let expected = (1.0 - p_n) * (1.0 - p_w) * (1.0 - p_l);
+        prop_assert!((s.acceptance_probability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decisions_deterministic_and_seed_sensitive(
+        seed in any::<u64>(),
+        p in 0.05..0.95f64,
+        requester in any::<u32>(),
+    ) {
+        let b = CompromisedBeacon::new(
+            NodeId(1),
+            Point2::new(10.0, 10.0),
+            Vector2::new(300.0, 0.0),
+            BeaconStrategy::with_acceptance(p),
+            seed,
+        );
+        prop_assert_eq!(b.decide(NodeId(requester)), b.decide(NodeId(requester)));
+    }
+
+    #[test]
+    fn empirical_acceptance_tracks_p(seed in any::<u64>(), p in 0.0..1.0f64) {
+        let b = CompromisedBeacon::new(
+            NodeId(1),
+            Point2::ORIGIN,
+            Vector2::new(300.0, 0.0),
+            BeaconStrategy::with_acceptance(p),
+            seed,
+        );
+        let n = 3000u32;
+        let malicious = (0..n)
+            .filter(|&r| b.decide(NodeId(r)) == Action::MaliciousSignal)
+            .count();
+        let rate = malicious as f64 / n as f64;
+        prop_assert!((rate - p).abs() < 0.05, "P={p}, measured {rate}");
+    }
+
+    #[test]
+    fn wormhole_tunneling_symmetric(
+        ax in 0.0..1000.0f64, ay in 0.0..1000.0f64,
+        bx in 0.0..1000.0f64, by in 0.0..1000.0f64,
+        sx in 0.0..1000.0f64, sy in 0.0..1000.0f64,
+        dx in 0.0..1000.0f64, dy in 0.0..1000.0f64,
+        range in 50.0..300.0f64,
+    ) {
+        let w = Wormhole::new(Point2::new(ax, ay), Point2::new(bx, by), Cycles::ZERO);
+        let s = Point2::new(sx, sy);
+        let d = Point2::new(dx, dy);
+        // The tunnel is symmetric except when a node sits in capture range
+        // of BOTH ends (exit_for then picks one end deterministically).
+        let near_both = |p: Point2| {
+            p.distance(w.end_a()) <= range && p.distance(w.end_b()) <= range
+        };
+        if !near_both(s) && !near_both(d) {
+            prop_assert_eq!(w.tunnels(s, d, range), w.tunnels(d, s, range));
+        }
+        // Tunneling implies the source is captured by some end.
+        if w.tunnels(s, d, range) {
+            prop_assert!(w.exit_for(s, range).is_some());
+        }
+    }
+
+    #[test]
+    fn collusion_alert_stream_respects_budgets(
+        tau in 0u32..6,
+        tau_prime in 0u32..6,
+        n_colluders in 1usize..16,
+        n_victims in 1usize..128,
+    ) {
+        let policy = CollusionPolicy::new(tau, tau_prime);
+        let colluders: Vec<NodeId> = (0..n_colluders as u32).map(NodeId).collect();
+        let victims: Vec<NodeId> = (1000..1000 + n_victims as u32).map(NodeId).collect();
+        let alerts = policy.alerts(&colluders, &victims);
+        // Budget per reporter.
+        for c in &colluders {
+            let used = alerts.iter().filter(|(r, _)| r == c).count();
+            prop_assert!(used <= policy.budget_per_reporter() as usize);
+        }
+        // Nobody accuses a colluder, nobody self-accuses.
+        for (r, t) in &alerts {
+            prop_assert!(colluders.contains(r));
+            prop_assert!(victims.contains(t));
+            prop_assert!(r != t);
+        }
+        // Fully-hit victims never exceed the expected revocation bound.
+        let fully = victims
+            .iter()
+            .filter(|v| {
+                alerts.iter().filter(|(_, t)| t == *v).count()
+                    >= policy.cost_per_revocation() as usize
+            })
+            .count();
+        prop_assert!(fully <= policy.expected_revocations(n_colluders));
+    }
+}

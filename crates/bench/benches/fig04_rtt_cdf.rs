@@ -1,0 +1,64 @@
+//! Figure 4 — cumulative distribution of the round-trip time between
+//! neighbour nodes with no replay attack, measured over 10 000 exchanges.
+//!
+//! Paper: x_min ≈ 5 950 cycles, x_max ≈ 7 656 cycles (reconstructed; see
+//! DESIGN.md), spread ≈ 4.5 bit-times at 384 cycles/bit, so any replay
+//! delayed by more than ~4.5 bits is detectable.
+//!
+//! Includes the threshold ablation from DESIGN.md §6: detection probability
+//! of replays adding k bit-times of delay.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secloc_bench::{banner, f3, Table};
+use secloc_core::{LocalReplayVerdict, RttFilter};
+use secloc_radio::timing::RttModel;
+use secloc_radio::{Cycles, CYCLES_PER_BIT};
+
+fn main() {
+    banner(
+        "Figure 4",
+        "cumulative distribution of round trip time (10,000 attack-free trials)",
+    );
+
+    let model = RttModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(2005);
+    let cdf = model.empirical_cdf(10_000, 100.0, &mut rng);
+
+    let mut table = Table::new(["rtt_cycles", "F(rtt)"]);
+    for (x, f) in cdf.curve(25) {
+        table.row([x.to_string(), f3(f)]);
+    }
+    table.print();
+    table.write_csv("fig04_rtt_cdf");
+
+    println!("\n  observed x_min = {} (paper ~5950)", cdf.x_min());
+    println!("  observed x_max = {} (paper ~7656)", cdf.x_max());
+    let margin_bits = (cdf.x_max().as_u64() - cdf.x_min().as_u64()) as f64 / CYCLES_PER_BIT as f64;
+    println!("  spread = {margin_bits:.2} bit-times (paper: ~4.5 bits)");
+
+    // Ablation: probability a replay adding k bit-times is caught by the
+    // x_max-calibrated filter.
+    banner(
+        "Figure 4 (ablation)",
+        "replay detection probability vs inserted delay",
+    );
+    let filter = RttFilter::from_cdf(&cdf);
+    let mut ablation = Table::new(["delay_bits", "detect_prob"]);
+    for k in [0.5, 1.0, 2.0, 3.0, 4.0, 4.5, 5.0, 6.0, 8.0, 360.0] {
+        let caught = (0..4000)
+            .filter(|_| {
+                let rtt = model.sample(100.0, Cycles::from_bits(k), &mut rng);
+                filter.classify(rtt) == LocalReplayVerdict::LocallyReplayed
+            })
+            .count();
+        ablation.row([format!("{k}"), f3(caught as f64 / 4000.0)]);
+    }
+    ablation.print();
+    ablation.write_csv("fig04_ablation_threshold");
+    println!(
+        "\n  Shape check: detection ramps from ~0 below the margin to 1.0 at\n  \
+         ~4.5 bits; a whole-packet replay (360 bits) is always caught — the\n  \
+         paper's §2.3 claim."
+    );
+}

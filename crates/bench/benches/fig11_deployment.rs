@@ -1,0 +1,72 @@
+//! Figure 11 — the randomly generated deployment of beacon nodes used in
+//! the simulation: 100 beacons in a 1000 × 1000 ft field, benign beacons
+//! as open circles, the 10 malicious ones as solid circles, and the
+//! wormhole anchored at (100, 100) ↔ (800, 700).
+//!
+//! Prints an ASCII rendition and writes the exact coordinates as CSV.
+
+use secloc_bench::{banner, Table};
+use secloc_sim::{Deployment, NodeKind, SimConfig};
+
+fn main() {
+    banner(
+        "Figure 11",
+        "deployment of beacon nodes in the sensing field",
+    );
+    let deployment = Deployment::generate(SimConfig::paper_default(), 2005);
+
+    // CSV of all beacon positions.
+    let mut table = Table::new(["beacon", "x_ft", "y_ft", "kind"]);
+    for b in 0..100u32 {
+        let p = deployment.position(b);
+        let kind = match deployment.kind(b) {
+            NodeKind::BenignBeacon => "benign",
+            NodeKind::MaliciousBeacon => "malicious",
+            NodeKind::Sensor => unreachable!("index < beacons"),
+        };
+        table.row([
+            b.to_string(),
+            format!("{:.1}", p.x),
+            format!("{:.1}", p.y),
+            kind.to_string(),
+        ]);
+    }
+    table.write_csv("fig11_deployment");
+
+    // ASCII map: 50 x 25 cells; o = benign, # = malicious, A/B = wormhole.
+    const W: usize = 50;
+    const H: usize = 25;
+    let mut grid = vec![vec![' '; W]; H];
+    for b in 0..100u32 {
+        let p = deployment.position(b);
+        let cx = ((p.x / 1000.0) * (W as f64 - 1.0)) as usize;
+        let cy = ((p.y / 1000.0) * (H as f64 - 1.0)) as usize;
+        grid[H - 1 - cy][cx] = match deployment.kind(b) {
+            NodeKind::MaliciousBeacon => '#',
+            _ => 'o',
+        };
+    }
+    let mark = |grid: &mut Vec<Vec<char>>, x: f64, y: f64, c: char| {
+        let cx = ((x / 1000.0) * (W as f64 - 1.0)) as usize;
+        let cy = ((y / 1000.0) * (H as f64 - 1.0)) as usize;
+        grid[H - 1 - cy][cx] = c;
+    };
+    mark(&mut grid, 100.0, 100.0, 'A');
+    mark(&mut grid, 800.0, 700.0, 'B');
+
+    println!("  +{}+", "-".repeat(W));
+    for row in &grid {
+        println!("  |{}|", row.iter().collect::<String>());
+    }
+    println!("  +{}+", "-".repeat(W));
+    println!("  o = benign beacon, # = malicious beacon, A/B = wormhole ends");
+    println!(
+        "\n  counts: {} benign, {} malicious (paper: 90 / 10)",
+        deployment.beacons_of_kind(NodeKind::BenignBeacon).len(),
+        deployment.beacons_of_kind(NodeKind::MaliciousBeacon).len()
+    );
+    println!(
+        "  mean requesting nodes per beacon (empirical Nc): {:.1}",
+        deployment.mean_requesters_per_beacon()
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 13 — simulated vs theoretical average number of requesting
+//! non-beacon nodes accepting malicious beacon signals (`N′`) as a function
+//! of `P`, with τ = 2 and τ′ = 2.
+//!
+//! Paper: "the simulation result has observable but small difference from
+//! the theoretical analysis. The simulation result and the theoretical
+//! result are in general close to each other."
+
+use secloc_analysis::{affected_nonbeacons, NetworkPopulation};
+use secloc_bench::{banner, f3, Table};
+use secloc_sim::{average_outcomes, SimConfig, SimOutcome};
+
+const SEEDS: u64 = 8;
+
+fn main() {
+    banner(
+        "Figure 13",
+        "affected non-beacon nodes N' vs P: simulation (8 seeds) vs theory",
+    );
+    let pop = NetworkPopulation::paper_simulation();
+    let mut table = Table::new([
+        "P",
+        "sim N'",
+        "sim N' (pre-revocation)",
+        "theory N'",
+        "|diff|",
+    ]);
+    let mut max_diff = 0.0f64;
+    for &p in &[0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.8, 1.0] {
+        let cfg = SimConfig {
+            attacker_p: p,
+            collusion: false,
+            wormhole: None,
+            ..SimConfig::paper_default()
+        };
+        let outcomes: Vec<SimOutcome> =
+            secloc_sim::sweep::run_seeds_auto(&cfg, &(10..10 + SEEDS).collect::<Vec<u64>>());
+        let agg = average_outcomes(&outcomes);
+        let theory =
+            affected_nonbeacons(p, 8, 2, agg.mean_requesters_per_beacon.round() as u64, pop);
+        max_diff = max_diff.max((agg.affected_after - theory).abs());
+        table.row([
+            f3(p),
+            f3(agg.affected_after),
+            f3(agg.affected_before),
+            f3(theory),
+            f3((agg.affected_after - theory).abs()),
+        ]);
+    }
+    table.print();
+    table.write_csv("fig13_sim_affected");
+    println!(
+        "\n  Shape check: N' stays at 'only a few nodes' across all P; the\n  \
+         pre-revocation column shows the damage revocation removed. Max\n  \
+         |sim - theory| = {max_diff:.3}."
+    );
+}

@@ -1,0 +1,87 @@
+//! Overheads table — §2.3 and §3.2 "Overheads" paragraphs, quantified.
+//!
+//! The paper claims the scheme's costs are practical: unicast beacon
+//! signals, a few probes per node, a bounded alert stream, one broadcast
+//! per revocation. This target prints the message counts for the
+//! reconstructed §4 deployment and their scaling in m.
+
+use secloc_analysis::detection_rate_pr;
+use secloc_analysis::overhead::OverheadModel;
+use secloc_bench::{banner, f2, Table};
+
+fn main() {
+    banner(
+        "Overheads (§2.3, §3.2)",
+        "message counts for the reconstructed paper deployment",
+    );
+    let base = OverheadModel::paper_default();
+
+    let mut table = Table::new([
+        "m",
+        "detection_msgs",
+        "localization_msgs",
+        "alerts_exp(P=0.1)",
+        "alerts_worst",
+    ]);
+    for m in [1u32, 2, 4, 8, 16] {
+        let model = OverheadModel {
+            detecting_ids: m,
+            ..base
+        };
+        let pr = detection_rate_pr(0.1, m);
+        table.row([
+            m.to_string(),
+            f2(model.detection_messages()),
+            f2(model.localization_messages()),
+            f2(model.alert_messages_expected(pr)),
+            f2(model.alert_messages_worst_case()),
+        ]);
+    }
+    table.print();
+    table.write_csv("table_overheads");
+
+    // Energy view: MICA2-class radio, 45-byte frames, unicast (one
+    // intended receiver; overhearing by neighbours excluded).
+    let energy = secloc_radio::energy::EnergyModel::default();
+    println!("\n  Energy per round (MICA2-class radio, mJ):");
+    let mut joules = Table::new(["phase", "messages", "energy_mj"]);
+    for (phase, msgs) in [
+        ("detection (m=8)", base.detection_messages()),
+        ("location discovery", base.localization_messages()),
+        ("alerts (expected, P=0.1)", {
+            let pr = detection_rate_pr(0.1, 8);
+            base.alert_messages_expected(pr)
+        }),
+    ] {
+        joules.row([
+            phase.to_string(),
+            f2(msgs),
+            f2(energy.broadcast_round_mj(msgs, 45, 1.0)),
+        ]);
+    }
+    joules.print();
+    joules.write_csv("table_overheads_energy");
+
+    println!("\n  Revocation dissemination (per revoked beacon):");
+    let mut rev = Table::new(["mechanism", "messages", "per-node state (bytes)"]);
+    rev.row([
+        "naive flood".to_string(),
+        f2(base.revocation_flood_messages()),
+        "0".to_string(),
+    ]);
+    rev.row([
+        "muTESLA broadcast".to_string(),
+        f2(base.revocation_mutesla_messages()),
+        base.mutesla_receiver_bytes(4).to_string(),
+    ]);
+    rev.print();
+    rev.write_csv("table_overheads_revocation");
+
+    println!(
+        "\n  unicast-vs-broadcast factor: {:.0}x (the 'certain amount of\n  \
+         communication overhead' §2.3 trades for per-link authentication);\n  \
+         detection volume scales linearly in m while the alert stream stays\n  \
+         capped at (tau+1) per reporter — the paper's practicality argument.",
+        base.unicast_overhead_factor()
+    );
+}

@@ -1,0 +1,152 @@
+//! Shared harness utilities for the figure-regeneration benches.
+//!
+//! Every figure of the reproduced paper has a bench target in
+//! `benches/fig*.rs` (run via `cargo bench`, or individually with
+//! `cargo bench -p secloc-bench --bench fig05_pr_vs_p`). Each target
+//! prints the figure's series as an aligned table and writes a CSV under
+//! `results/` at the workspace root so the numbers can be plotted or
+//! diffed. `EXPERIMENTS.md` records the paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where CSV outputs go: `<workspace>/results`.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Prints a banner naming the figure being regenerated.
+pub fn banner(figure: &str, caption: &str) {
+    println!("\n================================================================");
+    println!("{figure} — {caption}");
+    println!("================================================================");
+}
+
+/// A simple aligned-table printer for figure series.
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (values are formatted with `Display`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, D>(&mut self, values: I) -> &mut Self
+    where
+        I: IntoIterator<Item = D>,
+        D: Display,
+    {
+        let row: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("  {}", joined.join("  "));
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Writes the table as CSV into `results/<name>.csv` and reports the
+    /// path on stdout.
+    pub fn write_csv(&self, name: &str) {
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(&path, out).expect("write csv");
+        println!("  [csv] {}", path.display());
+    }
+}
+
+/// Formats a float with three decimals (the common cell format).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        t.print();
+        t.write_csv("_test_table");
+        let written = fs::read_to_string(results_dir().join("_test_table.csv")).unwrap();
+        assert_eq!(written, "a,b\n1,2\n3,4\n");
+        fs::remove_file(results_dir().join("_test_table.csv")).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

@@ -1,0 +1,136 @@
+//! Alerts reported to the base station.
+
+use secloc_crypto::{Key, Mac, NodeId};
+use std::fmt;
+
+/// One alert: `reporter` accuses `target` of being a malicious beacon.
+///
+/// "Every alert from a detecting node includes the ID of the detecting node
+/// and the ID of the target node" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Alert {
+    /// The detecting node raising the alert (its real beacon ID, since the
+    /// report channel to the base station is authenticated per-node).
+    pub reporter: NodeId,
+    /// The accused beacon node.
+    pub target: NodeId,
+}
+
+impl Alert {
+    /// Creates an alert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node accuses itself.
+    pub fn new(reporter: NodeId, target: NodeId) -> Self {
+        assert_ne!(reporter, target, "{reporter} cannot accuse itself");
+        Alert { reporter, target }
+    }
+
+    fn wire_bytes(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[..4].copy_from_slice(&self.reporter.0.to_le_bytes());
+        b[4..].copy_from_slice(&self.target.0.to_le_bytes());
+        b
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alert: {} accuses {}", self.reporter, self.target)
+    }
+}
+
+/// An alert authenticated with the reporter's base-station key.
+///
+/// "We assume each beacon node shares a unique random key with the base
+/// station. With this key, a beacon node can report its detecting results
+/// securely to the base station" (§3.1).
+///
+/// # Examples
+///
+/// ```
+/// use secloc_core::{Alert, SignedAlert};
+/// use secloc_crypto::{Key, NodeId, PairwiseKeyStore};
+///
+/// let keys = PairwiseKeyStore::new(Key::from_u128(5));
+/// let alert = Alert::new(NodeId(3), NodeId(8));
+/// let signed = SignedAlert::sign(alert, &keys.base_station(NodeId(3)));
+/// assert!(signed.verify(&keys.base_station(NodeId(3))));
+/// assert!(!signed.verify(&keys.base_station(NodeId(4))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedAlert {
+    alert: Alert,
+    tag: Mac,
+}
+
+impl SignedAlert {
+    /// Signs `alert` with the reporter's base-station key.
+    pub fn sign(alert: Alert, reporter_bs_key: &Key) -> Self {
+        SignedAlert {
+            alert,
+            tag: Mac::compute(reporter_bs_key, &alert.wire_bytes()),
+        }
+    }
+
+    /// Verifies the signature under the claimed reporter's key.
+    pub fn verify(&self, reporter_bs_key: &Key) -> bool {
+        self.tag.verify(reporter_bs_key, &self.alert.wire_bytes())
+    }
+
+    /// The alert content (use only after [`SignedAlert::verify`]).
+    pub fn alert(&self) -> Alert {
+        self.alert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secloc_crypto::PairwiseKeyStore;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let keys = PairwiseKeyStore::new(Key::from_u128(9));
+        let k = keys.base_station(NodeId(1));
+        let s = SignedAlert::sign(Alert::new(NodeId(1), NodeId(2)), &k);
+        assert!(s.verify(&k));
+        assert_eq!(s.alert(), Alert::new(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn forged_reporter_rejected() {
+        // A malicious node cannot submit alerts in another node's name.
+        let keys = PairwiseKeyStore::new(Key::from_u128(9));
+        let attacker_key = keys.base_station(NodeId(66));
+        let forged = SignedAlert::sign(Alert::new(NodeId(1), NodeId(2)), &attacker_key);
+        assert!(!forged.verify(&keys.base_station(NodeId(1))));
+    }
+
+    #[test]
+    fn tampered_target_rejected() {
+        let keys = PairwiseKeyStore::new(Key::from_u128(9));
+        let k = keys.base_station(NodeId(1));
+        let s = SignedAlert::sign(Alert::new(NodeId(1), NodeId(2)), &k);
+        let tampered = SignedAlert {
+            alert: Alert::new(NodeId(1), NodeId(3)),
+            tag: s.tag,
+        };
+        assert!(!tampered.verify(&k));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Alert::new(NodeId(1), NodeId(2)).to_string(),
+            "alert: n1 accuses n2"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "accuse itself")]
+    fn self_accusation_rejected() {
+        Alert::new(NodeId(5), NodeId(5));
+    }
+}

@@ -1,0 +1,238 @@
+//! Angle-of-arrival variant of the malicious-signal detector.
+//!
+//! §2.3: "our approach can be easily revised to deal with location
+//! estimation based on other measurements" — RSSI/ToA give distances, AoA
+//! gives bearings. The constraint structure is identical: the *measured*
+//! bearing of the beacon signal must match the bearing *calculated* from
+//! the detector's own location and the location declared in the packet,
+//! within the antenna array's angular error bound.
+//!
+//! The angular check complements the distance check geometrically: a
+//! distance-preserving lie (declaring a position on the detector's range
+//! circle) fools the distance detector but almost never the bearing, and
+//! vice versa. [`CombinedDetector`] runs both.
+
+use crate::{SignalDetector, SignalVerdict};
+use secloc_geometry::Point2;
+
+/// Normalises an angle difference into `(-π, π]`.
+fn angle_diff(a: f64, b: f64) -> f64 {
+    let mut d = a - b;
+    while d > std::f64::consts::PI {
+        d -= std::f64::consts::TAU;
+    }
+    while d <= -std::f64::consts::PI {
+        d += std::f64::consts::TAU;
+    }
+    d
+}
+
+/// Bearing (radians, from the positive x axis) from `from` towards `to`.
+pub fn bearing(from: Point2, to: Point2) -> f64 {
+    (to.y - from.y).atan2(to.x - from.x)
+}
+
+/// The AoA consistency detector.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_core::{AoaDetector, SignalVerdict};
+/// use secloc_geometry::Point2;
+///
+/// let det = AoaDetector::new(0.1); // ~5.7 degree array accuracy
+/// let me = Point2::new(0.0, 0.0);
+/// // Beacon claims to be due east; the signal in fact arrives from the
+/// // north-east: flagged.
+/// let claim = Point2::new(100.0, 0.0);
+/// assert_eq!(det.check(me, claim, 0.78), SignalVerdict::Malicious);
+/// assert_eq!(det.check(me, claim, 0.05), SignalVerdict::Consistent);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AoaDetector {
+    max_angle_error_rad: f64,
+}
+
+impl AoaDetector {
+    /// Creates a detector for an antenna array whose maximum bearing error
+    /// is `max_angle_error_rad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the bound is finite, non-negative and below π.
+    pub fn new(max_angle_error_rad: f64) -> Self {
+        assert!(
+            max_angle_error_rad.is_finite()
+                && (0.0..std::f64::consts::PI).contains(&max_angle_error_rad),
+            "angle error bound must be in [0, pi), got {max_angle_error_rad}"
+        );
+        AoaDetector {
+            max_angle_error_rad,
+        }
+    }
+
+    /// The angular error bound in radians.
+    pub fn max_angle_error(&self) -> f64 {
+        self.max_angle_error_rad
+    }
+
+    /// Checks a measured arrival bearing against the declared location.
+    pub fn check(
+        &self,
+        detector_position: Point2,
+        declared_position: Point2,
+        measured_bearing_rad: f64,
+    ) -> SignalVerdict {
+        let calculated = bearing(detector_position, declared_position);
+        if angle_diff(measured_bearing_rad, calculated).abs() > self.max_angle_error_rad {
+            SignalVerdict::Malicious
+        } else {
+            SignalVerdict::Consistent
+        }
+    }
+}
+
+/// Distance + bearing, flagging when either constraint fails.
+///
+/// With both measurements a location lie must land on the intersection of
+/// the detector's range annulus and bearing cone — for lies larger than
+/// the error bounds, an (almost) empty set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedDetector {
+    /// The distance-based stage.
+    pub distance: SignalDetector,
+    /// The bearing-based stage.
+    pub angle: AoaDetector,
+}
+
+impl CombinedDetector {
+    /// Checks both constraints.
+    pub fn check(
+        &self,
+        detector_position: Point2,
+        declared_position: Point2,
+        measured_distance_ft: f64,
+        measured_bearing_rad: f64,
+    ) -> SignalVerdict {
+        if self
+            .distance
+            .check(detector_position, declared_position, measured_distance_ft)
+            == SignalVerdict::Malicious
+            || self
+                .angle
+                .check(detector_position, declared_position, measured_bearing_rad)
+                == SignalVerdict::Malicious
+        {
+            SignalVerdict::Malicious
+        } else {
+            SignalVerdict::Consistent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Point2::ORIGIN;
+        assert_eq!(bearing(o, Point2::new(1.0, 0.0)), 0.0);
+        assert!((bearing(o, Point2::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((bearing(o, Point2::new(-1.0, 0.0)) - PI).abs() < 1e-12);
+        assert!((bearing(o, Point2::new(0.0, -1.0)) + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_is_exclusive_like_the_distance_detector() {
+        let det = AoaDetector::new(0.1);
+        let me = Point2::ORIGIN;
+        let claim = Point2::new(100.0, 0.0);
+        assert_eq!(det.check(me, claim, 0.1), SignalVerdict::Consistent);
+        assert_eq!(det.check(me, claim, 0.1 + 1e-9), SignalVerdict::Malicious);
+        assert_eq!(det.check(me, claim, -0.1), SignalVerdict::Consistent);
+    }
+
+    #[test]
+    fn wraparound_handled() {
+        // Claim at bearing ~pi; measurement just past -pi is the same
+        // physical direction and must pass.
+        let det = AoaDetector::new(0.05);
+        let me = Point2::ORIGIN;
+        let claim = Point2::new(-100.0, -0.001); // bearing ~ -pi + tiny
+        let measured = PI - 0.01; // just under +pi
+        assert_eq!(det.check(me, claim, measured), SignalVerdict::Consistent);
+    }
+
+    #[test]
+    fn distance_preserving_lie_caught_by_angle() {
+        // The beacon lies to a point on the detector's range circle: the
+        // distance check passes, the bearing check fires.
+        let me = Point2::ORIGIN;
+        let true_pos = Point2::new(100.0, 0.0);
+        let lie = Point2::new(0.0, 100.0); // same distance, 90 deg away
+        let combined = CombinedDetector {
+            distance: SignalDetector::new(10.0),
+            angle: AoaDetector::new(0.1),
+        };
+        let measured_distance = me.distance(true_pos);
+        let measured_bearing = bearing(me, true_pos);
+        assert_eq!(
+            SignalDetector::new(10.0).check(me, lie, measured_distance),
+            SignalVerdict::Consistent,
+            "distance check alone is blind to this lie"
+        );
+        assert_eq!(
+            combined.check(me, lie, measured_distance, measured_bearing),
+            SignalVerdict::Malicious
+        );
+    }
+
+    #[test]
+    fn bearing_preserving_lie_caught_by_distance() {
+        // The beacon lies along the true bearing: angle passes, distance
+        // fires.
+        let me = Point2::ORIGIN;
+        let true_pos = Point2::new(100.0, 0.0);
+        let lie = Point2::new(400.0, 0.0);
+        let combined = CombinedDetector {
+            distance: SignalDetector::new(10.0),
+            angle: AoaDetector::new(0.1),
+        };
+        assert_eq!(
+            combined.check(me, lie, me.distance(true_pos), bearing(me, true_pos)),
+            SignalVerdict::Malicious
+        );
+        assert_eq!(
+            AoaDetector::new(0.1).check(me, lie, bearing(me, true_pos)),
+            SignalVerdict::Consistent,
+            "angle check alone is blind to this lie"
+        );
+    }
+
+    #[test]
+    fn honest_signal_passes_both() {
+        let me = Point2::new(50.0, 80.0);
+        let beacon = Point2::new(170.0, 20.0);
+        let combined = CombinedDetector {
+            distance: SignalDetector::new(10.0),
+            angle: AoaDetector::new(0.1),
+        };
+        assert_eq!(
+            combined.check(
+                me,
+                beacon,
+                me.distance(beacon) + 7.0,
+                bearing(me, beacon) - 0.05
+            ),
+            SignalVerdict::Consistent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "angle error bound")]
+    fn bound_validated() {
+        AoaDetector::new(4.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The composed detection pipeline: §2.1 + §2.2 in the paper's order.
+
+use crate::{
+    LocalReplayVerdict, RttFilter, SignalDetector, SignalVerdict, WormholeFilter, WormholeVerdict,
+};
+use secloc_geometry::Point2;
+use secloc_radio::Cycles;
+
+/// Everything a detecting node observes about one beacon exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The detecting node's own location.
+    pub detector_position: Point2,
+    /// The location declared in the received beacon packet.
+    pub declared_position: Point2,
+    /// The distance measured from the beacon signal, in feet.
+    pub measured_distance_ft: f64,
+    /// The measured round-trip time `(t4−t1)−(t3−t2)`.
+    pub rtt: Cycles,
+    /// Whether the node's wormhole detector flagged this exchange.
+    pub wormhole_detector_fired: bool,
+}
+
+/// Final classification of one observed beacon signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionOutcome {
+    /// Signal is consistent — usable for localization, no alert.
+    Benign,
+    /// Malicious-looking but attributed to a wormhole replay of a benign
+    /// signal; ignored without an alert (false-positive avoidance).
+    IgnoredWormholeReplay,
+    /// Malicious-looking but the RTT shows a local replay; ignored without
+    /// an alert.
+    IgnoredLocalReplay,
+    /// Malicious and fresh: report an alert against the target node.
+    Alert,
+}
+
+impl DetectionOutcome {
+    /// Whether a requesting *non-beacon* node would keep this signal for
+    /// location estimation. (Non-beacons run the same filters; they keep
+    /// only signals that are fresh — malicious ones they cannot recognise
+    /// as such without the detector's vantage, so `Alert` here corresponds
+    /// to "accepted and poisoned" at a non-beacon, which is exactly the
+    /// paper's `P` event. See [`DetectionPipeline::accepts_for_localization`].)
+    pub fn raises_alert(self) -> bool {
+        matches!(self, DetectionOutcome::Alert)
+    }
+}
+
+/// The full §2 pipeline, run by a beacon node under a detecting ID.
+///
+/// Order mandated by the paper: consistency check first; only signals found
+/// malicious go through the wormhole filter, and only those that survive it
+/// go through the local-replay filter; whatever remains triggers an alert.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_core::{DetectionOutcome, DetectionPipeline, Observation};
+/// use secloc_geometry::Point2;
+/// use secloc_radio::Cycles;
+///
+/// let p = DetectionPipeline::paper_default();
+/// let honest = Observation {
+///     detector_position: Point2::new(0.0, 0.0),
+///     declared_position: Point2::new(60.0, 80.0),
+///     measured_distance_ft: 103.0,
+///     rtt: Cycles::new(6_800),
+///     wormhole_detector_fired: false,
+/// };
+/// assert_eq!(p.evaluate(&honest), DetectionOutcome::Benign);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionPipeline {
+    signal: SignalDetector,
+    wormhole: WormholeFilter,
+    rtt: RttFilter,
+}
+
+impl DetectionPipeline {
+    /// Composes a pipeline from its three stages.
+    pub fn new(signal: SignalDetector, wormhole: WormholeFilter, rtt: RttFilter) -> Self {
+        DetectionPipeline {
+            signal,
+            wormhole,
+            rtt,
+        }
+    }
+
+    /// The reconstructed paper configuration: ε = 10 ft, range = 150 ft,
+    /// RTT threshold from the calibrated paper model.
+    pub fn paper_default() -> Self {
+        DetectionPipeline {
+            signal: SignalDetector::new(10.0),
+            wormhole: WormholeFilter::new(150.0),
+            rtt: RttFilter::paper_default(),
+        }
+    }
+
+    /// The signal-consistency stage.
+    pub fn signal_detector(&self) -> &SignalDetector {
+        &self.signal
+    }
+
+    /// The wormhole-replay stage.
+    pub fn wormhole_filter(&self) -> &WormholeFilter {
+        &self.wormhole
+    }
+
+    /// The local-replay stage.
+    pub fn rtt_filter(&self) -> &RttFilter {
+        &self.rtt
+    }
+
+    /// Classifies one observation, in the paper's stage order.
+    pub fn evaluate(&self, obs: &Observation) -> DetectionOutcome {
+        match self.signal.check(
+            obs.detector_position,
+            obs.declared_position,
+            obs.measured_distance_ft,
+        ) {
+            SignalVerdict::Consistent => DetectionOutcome::Benign,
+            SignalVerdict::Malicious => match self.wormhole.classify(
+                obs.detector_position,
+                obs.declared_position,
+                obs.wormhole_detector_fired,
+            ) {
+                WormholeVerdict::WormholeReplay => DetectionOutcome::IgnoredWormholeReplay,
+                WormholeVerdict::Proceed => match self.rtt.classify(obs.rtt) {
+                    LocalReplayVerdict::LocallyReplayed => DetectionOutcome::IgnoredLocalReplay,
+                    LocalReplayVerdict::Fresh => DetectionOutcome::Alert,
+                },
+            },
+        }
+    }
+
+    /// The non-beacon (requesting sensor) view of the same filters: keep a
+    /// signal for location estimation only when it is not recognisably
+    /// replayed. A malicious-but-fresh signal *is* kept — a non-beacon node
+    /// cannot tell it is being lied to; that asymmetry is why the paper's
+    /// `P` both poisons sensors and exposes the attacker to detectors.
+    pub fn accepts_for_localization(&self, obs: &Observation) -> bool {
+        // Wormhole pre-check (every node carries the wormhole detector).
+        if self.wormhole.classify(
+            obs.detector_position,
+            obs.declared_position,
+            obs.wormhole_detector_fired,
+        ) == WormholeVerdict::WormholeReplay
+        {
+            return false;
+        }
+        self.rtt.classify(obs.rtt) == LocalReplayVerdict::Fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> DetectionPipeline {
+        DetectionPipeline::paper_default()
+    }
+
+    fn base_obs() -> Observation {
+        Observation {
+            detector_position: Point2::new(0.0, 0.0),
+            declared_position: Point2::new(60.0, 80.0), // 100 ft away
+            measured_distance_ft: 100.0,
+            rtt: Cycles::new(6_800),
+            wormhole_detector_fired: false,
+        }
+    }
+
+    #[test]
+    fn honest_signal_is_benign() {
+        assert_eq!(pipeline().evaluate(&base_obs()), DetectionOutcome::Benign);
+    }
+
+    #[test]
+    fn undisguised_malicious_signal_alerts() {
+        let obs = Observation {
+            measured_distance_ft: 100.0,
+            declared_position: Point2::new(600.0, 800.0), // claims 1000 ft
+            ..base_obs()
+        };
+        assert_eq!(pipeline().evaluate(&obs), DetectionOutcome::Alert);
+    }
+
+    #[test]
+    fn wormhole_replay_suppressed() {
+        // Benign beacon truthfully at (600,800), heard via wormhole: the
+        // measured distance (to the wormhole exit nearby) is ~50 ft but the
+        // declared location is ~1000 ft away => malicious-looking.
+        let obs = Observation {
+            declared_position: Point2::new(600.0, 800.0),
+            measured_distance_ft: 50.0,
+            wormhole_detector_fired: true,
+            ..base_obs()
+        };
+        assert_eq!(
+            pipeline().evaluate(&obs),
+            DetectionOutcome::IgnoredWormholeReplay
+        );
+        // Wormhole detector misses (prob 1 - p_d): false alert — the
+        // paper's only benign-on-benign alert path.
+        let missed = Observation {
+            wormhole_detector_fired: false,
+            ..obs
+        };
+        assert_eq!(pipeline().evaluate(&missed), DetectionOutcome::Alert);
+    }
+
+    #[test]
+    fn local_replay_suppressed() {
+        // A neighbour's benign signal replayed by an attacker: consistent
+        // declared location but distance now measured to the replayer, and
+        // RTT one packet too slow.
+        let obs = Observation {
+            declared_position: Point2::new(60.0, 80.0),
+            measured_distance_ft: 30.0, // looks wrong => malicious-looking
+            rtt: Cycles::new(6_800 + 45 * 8 * 384),
+            ..base_obs()
+        };
+        assert_eq!(
+            pipeline().evaluate(&obs),
+            DetectionOutcome::IgnoredLocalReplay
+        );
+    }
+
+    #[test]
+    fn malicious_target_faking_local_replay_is_not_alerted() {
+        // §2.2.2's limitation: a malicious target can delay its own reply
+        // to masquerade as a replay victim; the detector then stays silent
+        // (but non-beacons also refuse the signal, so no damage is done).
+        let p = pipeline();
+        let obs = Observation {
+            declared_position: Point2::new(600.0, 0.0),
+            measured_distance_ft: 90.0,
+            rtt: Cycles::new(20_000),
+            ..base_obs()
+        };
+        assert_eq!(p.evaluate(&obs), DetectionOutcome::IgnoredLocalReplay);
+        assert!(
+            !p.accepts_for_localization(&obs),
+            "sensors must refuse it too"
+        );
+    }
+
+    #[test]
+    fn nonbeacon_keeps_fresh_signals_even_if_malicious() {
+        let p = pipeline();
+        let poisoned = Observation {
+            declared_position: Point2::new(600.0, 800.0),
+            measured_distance_ft: 100.0,
+            ..base_obs()
+        };
+        // Alert for a detector...
+        assert_eq!(p.evaluate(&poisoned), DetectionOutcome::Alert);
+        // ...but a plain sensor accepts and is poisoned (the paper's P event,
+        // wait for revocation to stop it).
+        assert!(p.accepts_for_localization(&poisoned));
+    }
+
+    #[test]
+    fn nonbeacon_discards_wormhole_and_replays() {
+        let p = pipeline();
+        let wormholed = Observation {
+            declared_position: Point2::new(600.0, 800.0),
+            measured_distance_ft: 50.0,
+            wormhole_detector_fired: true,
+            ..base_obs()
+        };
+        assert!(!p.accepts_for_localization(&wormholed));
+        let replayed = Observation {
+            rtt: Cycles::new(50_000),
+            ..base_obs()
+        };
+        assert!(!p.accepts_for_localization(&replayed));
+        assert!(p.accepts_for_localization(&base_obs()));
+    }
+
+    #[test]
+    fn outcome_alert_flag() {
+        assert!(DetectionOutcome::Alert.raises_alert());
+        assert!(!DetectionOutcome::Benign.raises_alert());
+        assert!(!DetectionOutcome::IgnoredWormholeReplay.raises_alert());
+        assert!(!DetectionOutcome::IgnoredLocalReplay.raises_alert());
+    }
+
+    #[test]
+    fn stage_accessors() {
+        let p = pipeline();
+        assert_eq!(p.signal_detector().max_error(), 10.0);
+        assert_eq!(p.wormhole_filter().range(), 150.0);
+        assert!(p.rtt_filter().x_max().as_u64() >= 7656);
+    }
+}

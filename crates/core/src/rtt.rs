@@ -1,0 +1,206 @@
+//! The local-replay filter: round-trip-time thresholding (§2.2.2).
+
+use secloc_radio::timing::{RttCdf, RttModel};
+use secloc_radio::Cycles;
+
+/// Verdict of the RTT-based local-replay filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalReplayVerdict {
+    /// `RTT ≤ x_max`: the signal came straight from the transmitter.
+    Fresh,
+    /// `RTT > x_max`: at least one store-and-forward hop was inserted —
+    /// the signal is locally replayed and must be ignored.
+    LocallyReplayed,
+}
+
+/// Computes the paper's MAC-and-processing-free round-trip time from the
+/// four SPDR timestamps of Fig. 3: `RTT = (t4 − t1) − (t3 − t2)`.
+///
+/// # Panics
+///
+/// Panics unless `t1 ≤ t4` and `t2 ≤ t3` (causality).
+pub fn rtt_from_timestamps(t1: Cycles, t2: Cycles, t3: Cycles, t4: Cycles) -> Cycles {
+    let sender_span = t4.checked_sub(t1).expect("t4 must not precede t1");
+    let receiver_turnaround = t3.checked_sub(t2).expect("t3 must not precede t2");
+    sender_span
+        .checked_sub(receiver_turnaround)
+        .expect("receiver turnaround exceeds sender span")
+}
+
+/// The local-replay detector "installed on every beacon and non-beacon
+/// node": compare the observed RTT against the calibrated maximum
+/// attack-free RTT `x_max`.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_core::{LocalReplayVerdict, RttFilter};
+/// use secloc_radio::Cycles;
+///
+/// let filter = RttFilter::paper_default();
+/// assert_eq!(filter.classify(Cycles::new(7_000)), LocalReplayVerdict::Fresh);
+/// assert_eq!(filter.classify(Cycles::new(9_500)), LocalReplayVerdict::LocallyReplayed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttFilter {
+    x_max: Cycles,
+}
+
+impl RttFilter {
+    /// Creates a filter with an explicit threshold.
+    pub fn new(x_max: Cycles) -> Self {
+        RttFilter { x_max }
+    }
+
+    /// The filter calibrated from the paper's reconstructed measurement
+    /// campaign: threshold `x_max` from [`RttModel::paper_default`] plus
+    /// its in-range propagation allowance.
+    pub fn paper_default() -> Self {
+        RttFilter::new(RttModel::paper_default().max_rtt_with_range(150.0))
+    }
+
+    /// Calibrates the threshold from an empirical attack-free RTT
+    /// distribution, exactly as the paper derives `x_max` from Fig. 4.
+    pub fn from_cdf(cdf: &RttCdf) -> Self {
+        RttFilter::new(cdf.x_max())
+    }
+
+    /// The threshold `x_max` in force.
+    pub fn x_max(&self) -> Cycles {
+        self.x_max
+    }
+
+    /// Classifies one measured RTT.
+    pub fn classify(&self, rtt: Cycles) -> LocalReplayVerdict {
+        if rtt > self.x_max {
+            LocalReplayVerdict::LocallyReplayed
+        } else {
+            LocalReplayVerdict::Fresh
+        }
+    }
+
+    /// The smallest replay-induced delay guaranteed to be caught, given
+    /// the smallest possible attack-free RTT `x_min`: a replay is missed
+    /// only when `delay ≤ x_max − x_min` (≈ 4.5 bit-times), so anything
+    /// above that margin is always detected.
+    pub fn guaranteed_catch_margin(&self, x_min: Cycles) -> Cycles {
+        self.x_max.saturating_sub(x_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secloc_radio::timing::PAPER_X_MIN;
+    use secloc_radio::CYCLES_PER_BIT;
+
+    #[test]
+    fn timestamp_formula_cancels_turnaround() {
+        // Sender transmits at 1000, receiver hears at 1010, dawdles 5000
+        // cycles in its MAC queue, replies at 6010, sender hears at 6020.
+        let rtt = rtt_from_timestamps(
+            Cycles::new(1000),
+            Cycles::new(1010),
+            Cycles::new(6010),
+            Cycles::new(6020),
+        );
+        // (6020-1000) - (6010-1010) = 5020 - 5000 = 20: pure radio delay.
+        assert_eq!(rtt, Cycles::new(20));
+    }
+
+    #[test]
+    fn turnaround_magnitude_is_irrelevant() {
+        for pause in [0u64, 100, 1_000_000, 1_000_000_000] {
+            let rtt = rtt_from_timestamps(
+                Cycles::new(0),
+                Cycles::new(30),
+                Cycles::new(30 + pause),
+                Cycles::new(60 + pause),
+            );
+            assert_eq!(rtt, Cycles::new(60), "pause {pause}");
+        }
+    }
+
+    #[test]
+    fn threshold_boundary_inclusive() {
+        let f = RttFilter::new(Cycles::new(7656));
+        assert_eq!(f.classify(Cycles::new(7656)), LocalReplayVerdict::Fresh);
+        assert_eq!(
+            f.classify(Cycles::new(7657)),
+            LocalReplayVerdict::LocallyReplayed
+        );
+        assert_eq!(f.x_max(), Cycles::new(7656));
+    }
+
+    #[test]
+    fn honest_exchanges_pass_the_paper_filter() {
+        let f = RttFilter::paper_default();
+        let m = RttModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5000 {
+            let rtt = m.sample(150.0, Cycles::ZERO, &mut rng);
+            assert_eq!(f.classify(rtt), LocalReplayVerdict::Fresh, "{rtt}");
+        }
+    }
+
+    #[test]
+    fn whole_packet_replays_always_caught() {
+        let f = RttFilter::paper_default();
+        let m = RttModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let replay = Cycles::from_bytes(36);
+        for _ in 0..5000 {
+            let rtt = m.sample(150.0, replay, &mut rng);
+            assert_eq!(f.classify(rtt), LocalReplayVerdict::LocallyReplayed);
+        }
+    }
+
+    #[test]
+    fn sub_margin_replays_can_slip_through() {
+        // The paper's stated limitation: delays under ~4.5 bit-times are
+        // undetectable — and physically unrealisable for store-and-forward.
+        let f = RttFilter::paper_default();
+        let m = RttModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tiny = Cycles::from_bits(1.0);
+        let slipped = (0..5000)
+            .filter(|_| f.classify(m.sample(10.0, tiny, &mut rng)) == LocalReplayVerdict::Fresh)
+            .count();
+        assert!(
+            slipped > 0,
+            "a 1-bit delay should sometimes evade the filter"
+        );
+    }
+
+    #[test]
+    fn calibration_from_cdf_matches_observed_max() {
+        let m = RttModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cdf = m.empirical_cdf(10_000, 100.0, &mut rng);
+        let f = RttFilter::from_cdf(&cdf);
+        assert_eq!(f.x_max(), cdf.x_max());
+        // Everything in the calibration set passes by construction.
+        assert_eq!(f.classify(cdf.x_max()), LocalReplayVerdict::Fresh);
+    }
+
+    #[test]
+    fn catch_margin_close_to_four_and_a_half_bits() {
+        let f = RttFilter::paper_default();
+        let margin = f.guaranteed_catch_margin(Cycles::new(PAPER_X_MIN));
+        let bits = margin.as_u64() as f64 / CYCLES_PER_BIT as f64;
+        assert!((bits - 4.5).abs() < 0.1, "margin {bits} bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "t3 must not precede t2")]
+    fn causality_enforced() {
+        rtt_from_timestamps(
+            Cycles::new(0),
+            Cycles::new(10),
+            Cycles::new(5),
+            Cycles::new(20),
+        );
+    }
+}

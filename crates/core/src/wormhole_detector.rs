@@ -1,0 +1,274 @@
+//! Wormhole detectors: the external component the filter of §2.2.1
+//! consumes.
+//!
+//! The paper treats the wormhole detector as a black box with detection
+//! rate `p_d`, citing packet leashes (Hu, Perrig & Johnson — its ref [13])
+//! and directional antennas as instantiations. This module provides:
+//!
+//! - [`GeographicLeash`] — sender embeds its location; receiver bounds the
+//!   distance the packet may legitimately have travelled;
+//! - [`TemporalLeash`] — sender embeds a timestamp; receiver bounds the
+//!   travel *time* (needs bounded clock skew);
+//! - [`FixedRateDetector`] — the paper's abstract Bernoulli(`p_d`)
+//!   detector, keyed per link for verdict consistency.
+//!
+//! All three implement [`WormholeDetector`], so the filter, simulator and
+//! benches can swap them freely.
+
+use secloc_crypto::prf::prf64;
+use secloc_geometry::Point2;
+use secloc_radio::{Cycles, CPU_HZ, SPEED_OF_LIGHT_FT_S};
+
+/// The evidence a detector may inspect about one received packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeashContext {
+    /// Receiver's own location.
+    pub receiver_position: Point2,
+    /// The location the sender embedded in the packet (a *leash*, distinct
+    /// from the beacon payload's declared location — leashes are added at
+    /// the link layer by every node).
+    pub sender_claimed_position: Point2,
+    /// The send timestamp embedded in the packet.
+    pub sent_at: Cycles,
+    /// When the receiver's radio timestamped reception.
+    pub received_at: Cycles,
+}
+
+/// A wormhole detector: decides whether one packet travelled farther than
+/// a single radio hop can.
+pub trait WormholeDetector {
+    /// Returns `true` when the packet is judged wormhole-replayed.
+    fn detects(&self, ctx: &LeashContext) -> bool;
+}
+
+/// Geographic leash: `|receiver − claimed_sender| ≤ range + slack`,
+/// otherwise the packet must have been tunnelled.
+///
+/// Detects every wormhole longer than `range + slack` between honest
+/// endpoints; a *colluding* sender can defeat it by lying in the leash,
+/// which is why the paper's filter combines the detector with its own
+/// distance pre-check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeographicLeash {
+    /// Radio range in feet.
+    pub range_ft: f64,
+    /// Localisation slack added to the range (position uncertainty of
+    /// both ends), in feet.
+    pub slack_ft: f64,
+}
+
+impl WormholeDetector for GeographicLeash {
+    fn detects(&self, ctx: &LeashContext) -> bool {
+        ctx.receiver_position.distance(ctx.sender_claimed_position) > self.range_ft + self.slack_ft
+    }
+}
+
+/// Temporal leash: the packet may not be older than one hop's travel time
+/// plus the clock-synchronisation error.
+///
+/// `max_age = range/c + skew + processing`. Any store-and-forward tunnel
+/// adds at least a packet time (hundreds of bit-times), so even loose
+/// synchronisation suffices — but the paper notes the scheme "requires a
+/// secure and tight time synchronization" to keep `skew` small enough.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalLeash {
+    /// Radio range in feet (bounds legitimate propagation).
+    pub range_ft: f64,
+    /// Maximum clock skew between any two nodes, in cycles.
+    pub max_skew: Cycles,
+    /// Receiver-side processing allowance, in cycles.
+    pub processing_allowance: Cycles,
+}
+
+impl TemporalLeash {
+    /// The age threshold this leash enforces.
+    pub fn max_age(&self) -> Cycles {
+        let prop = self.range_ft / SPEED_OF_LIGHT_FT_S * CPU_HZ;
+        Cycles::new(prop.ceil() as u64) + self.max_skew + self.processing_allowance
+    }
+}
+
+impl WormholeDetector for TemporalLeash {
+    fn detects(&self, ctx: &LeashContext) -> bool {
+        ctx.received_at.saturating_sub(ctx.sent_at) > self.max_age()
+    }
+}
+
+/// The paper's abstract detector: fires with probability `p_d` on true
+/// wormholes. The draw is keyed by the (claimed) endpoints so repeated
+/// packets on one link get a consistent verdict, matching §2.3's per-pair
+/// `1 − p_d` false-negative accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedRateDetector {
+    /// Detection rate `p_d`.
+    pub detection_rate: f64,
+    /// Radio range used for the ground-truth distance test.
+    pub range_ft: f64,
+    /// Seed for the per-link draws.
+    pub seed: u64,
+}
+
+impl FixedRateDetector {
+    /// Creates a Bernoulli detector with rate `p_d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `detection_rate` lies in `[0, 1]`.
+    pub fn new(detection_rate: f64, range_ft: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&detection_rate),
+            "p_d must be in [0,1], got {detection_rate}"
+        );
+        FixedRateDetector {
+            detection_rate,
+            range_ft,
+            seed,
+        }
+    }
+}
+
+impl WormholeDetector for FixedRateDetector {
+    fn detects(&self, ctx: &LeashContext) -> bool {
+        // No wormhole (claimed distance within range): never fire — the
+        // paper's detector has no false-alarm term.
+        if ctx.receiver_position.distance(ctx.sender_claimed_position) <= self.range_ft {
+            return false;
+        }
+        let mut material = Vec::with_capacity(32);
+        for v in [
+            ctx.receiver_position.x,
+            ctx.receiver_position.y,
+            ctx.sender_claimed_position.x,
+            ctx.sender_claimed_position.y,
+        ] {
+            material.extend_from_slice(&v.to_le_bytes());
+        }
+        let tag = prf64((self.seed, 0x77_68_6f_6c_65), &material);
+        let uniform = (tag >> 11) as f64 / (1u64 << 53) as f64;
+        uniform < self.detection_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(receiver: (f64, f64), claimed: (f64, f64), age: u64) -> LeashContext {
+        LeashContext {
+            receiver_position: Point2::new(receiver.0, receiver.1),
+            sender_claimed_position: Point2::new(claimed.0, claimed.1),
+            sent_at: Cycles::new(1_000_000),
+            received_at: Cycles::new(1_000_000 + age),
+        }
+    }
+
+    #[test]
+    fn geographic_leash_catches_long_tunnels() {
+        let leash = GeographicLeash {
+            range_ft: 150.0,
+            slack_ft: 20.0,
+        };
+        // Paper wormhole: ~922 ft.
+        assert!(leash.detects(&ctx((800.0, 700.0), (100.0, 100.0), 5)));
+        // Honest neighbour at 120 ft.
+        assert!(!leash.detects(&ctx((0.0, 0.0), (120.0, 0.0), 5)));
+        // Slack zone: 160 ft with 20 ft slack passes.
+        assert!(!leash.detects(&ctx((0.0, 0.0), (160.0, 0.0), 5)));
+        assert!(leash.detects(&ctx((0.0, 0.0), (171.0, 0.0), 5)));
+    }
+
+    #[test]
+    fn geographic_leash_blind_to_lying_colluders() {
+        // A colluding tunnel endpoint lies in the leash: geographic leashes
+        // cannot catch that — the documented limitation that motivates the
+        // filter's own distance pre-check.
+        let leash = GeographicLeash {
+            range_ft: 150.0,
+            slack_ft: 0.0,
+        };
+        let lying = ctx((0.0, 0.0), (100.0, 0.0), 5); // claims nearby
+        assert!(!leash.detects(&lying));
+    }
+
+    #[test]
+    fn temporal_leash_age_threshold() {
+        let leash = TemporalLeash {
+            range_ft: 150.0,
+            max_skew: Cycles::new(100),
+            processing_allowance: Cycles::new(50),
+        };
+        // range/c ~ 1.1 cycles, ceil 2 => max age 152.
+        assert_eq!(leash.max_age(), Cycles::new(152));
+        assert!(!leash.detects(&ctx((0.0, 0.0), (100.0, 0.0), 152)));
+        assert!(leash.detects(&ctx((0.0, 0.0), (100.0, 0.0), 153)));
+    }
+
+    #[test]
+    fn temporal_leash_catches_store_and_forward() {
+        // A tunnel that re-transmits the packet pays >= one packet time
+        // (45 bytes = 138 240 cycles) — far beyond any sane skew.
+        let leash = TemporalLeash {
+            range_ft: 150.0,
+            max_skew: Cycles::from_bits(10.0),
+            processing_allowance: Cycles::new(500),
+        };
+        let packet_time = 45 * 8 * 384;
+        assert!(leash.detects(&ctx((0.0, 0.0), (100.0, 0.0), packet_time)));
+    }
+
+    #[test]
+    fn fixed_rate_detector_fires_at_rate_on_true_wormholes() {
+        let det = FixedRateDetector::new(0.9, 150.0, 42);
+        let mut fired = 0;
+        let n = 2000;
+        for i in 0..n {
+            let c = ctx((i as f64, 0.0), (i as f64, 500.0), 5);
+            if det.detects(&c) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.9).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn fixed_rate_detector_consistent_per_link_and_silent_in_range() {
+        let det = FixedRateDetector::new(0.5, 150.0, 7);
+        let c = ctx((10.0, 10.0), (700.0, 700.0), 5);
+        let first = det.detects(&c);
+        for _ in 0..50 {
+            assert_eq!(det.detects(&c), first, "verdict flipped");
+        }
+        // In-range packet: never fires.
+        assert!(!det.detects(&ctx((0.0, 0.0), (100.0, 0.0), 5)));
+    }
+
+    #[test]
+    fn detectors_compose_behind_the_trait() {
+        let detectors: Vec<Box<dyn WormholeDetector>> = vec![
+            Box::new(GeographicLeash {
+                range_ft: 150.0,
+                slack_ft: 0.0,
+            }),
+            Box::new(TemporalLeash {
+                range_ft: 150.0,
+                max_skew: Cycles::new(10),
+                processing_allowance: Cycles::new(10),
+            }),
+            Box::new(FixedRateDetector::new(1.0, 150.0, 1)),
+        ];
+        // The paper-style wormhole packet (far + slow) trips all three.
+        let c = ctx((800.0, 700.0), (100.0, 100.0), 10_000);
+        assert!(detectors.iter().all(|d| d.detects(&c)));
+        // An honest neighbour packet (age within prop + skew + processing)
+        // trips none.
+        let h = ctx((0.0, 0.0), (100.0, 0.0), 15);
+        assert!(detectors.iter().all(|d| !d.detects(&h)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn fixed_rate_validates() {
+        FixedRateDetector::new(1.5, 150.0, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Filtering beacon signals replayed through wormholes (§2.2.1).
+
+use secloc_geometry::Point2;
+
+/// Verdict of the wormhole-replay filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WormholeVerdict {
+    /// The malicious-looking signal is attributed to a wormhole replay of a
+    /// benign beacon's signal and must be ignored (no alert).
+    WormholeReplay,
+    /// Not explainable as a wormhole replay — continue to the local-replay
+    /// filter.
+    Proceed,
+}
+
+/// The §2.2.1 algorithm.
+///
+/// "The detecting node first calculates the distance to the target beacon
+/// node based on its own location and the location declared in the beacon
+/// packet. If the calculated distance is larger than the radio communication
+/// range of the target node **and** the wormhole detector determines that
+/// there is a wormhole attack, the beacon signal is considered as a replayed
+/// beacon signal and is ignored."
+///
+/// The wormhole detector itself (geographic/temporal leashes, directional
+/// antennas — the paper's refs [13, 12]) is an external component with
+/// detection rate `p_d`; its boolean verdict is an *input* here.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_core::{WormholeFilter, WormholeVerdict};
+/// use secloc_geometry::Point2;
+///
+/// let filter = WormholeFilter::new(150.0);
+/// let me = Point2::new(100.0, 100.0);
+/// let far_claim = Point2::new(800.0, 700.0);
+/// // Far-away declared location + wormhole detector fired => replay.
+/// assert_eq!(filter.classify(me, far_claim, true), WormholeVerdict::WormholeReplay);
+/// // Detector silent => proceed to the local-replay filter.
+/// assert_eq!(filter.classify(me, far_claim, false), WormholeVerdict::Proceed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WormholeFilter {
+    range_ft: f64,
+}
+
+impl WormholeFilter {
+    /// Creates a filter for a network whose radio range is `range_ft`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_ft` is not finite and positive.
+    pub fn new(range_ft: f64) -> Self {
+        assert!(
+            range_ft.is_finite() && range_ft > 0.0,
+            "radio range must be positive, got {range_ft}"
+        );
+        WormholeFilter { range_ft }
+    }
+
+    /// The radio range assumed for the target node.
+    pub fn range(&self) -> f64 {
+        self.range_ft
+    }
+
+    /// Classifies a signal that has already been found malicious.
+    ///
+    /// `wormhole_detector_fired` is the verdict of the node's wormhole
+    /// detector for this exchange.
+    pub fn classify(
+        &self,
+        detector_position: Point2,
+        declared_position: Point2,
+        wormhole_detector_fired: bool,
+    ) -> WormholeVerdict {
+        let calculated = detector_position.distance(declared_position);
+        if calculated > self.range_ft && wormhole_detector_fired {
+            WormholeVerdict::WormholeReplay
+        } else {
+            WormholeVerdict::Proceed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RANGE: f64 = 150.0;
+
+    #[test]
+    fn both_conditions_required() {
+        let f = WormholeFilter::new(RANGE);
+        let me = Point2::ORIGIN;
+        let far = Point2::new(500.0, 0.0);
+        let near = Point2::new(100.0, 0.0);
+        assert_eq!(f.classify(me, far, true), WormholeVerdict::WormholeReplay);
+        assert_eq!(f.classify(me, far, false), WormholeVerdict::Proceed);
+        // A nearby declared location can never be excused as a wormhole,
+        // even if the wormhole detector fires: the malicious target trick
+        // of faking a wormhole only works when it also claims to be far.
+        assert_eq!(f.classify(me, near, true), WormholeVerdict::Proceed);
+        assert_eq!(f.classify(me, near, false), WormholeVerdict::Proceed);
+    }
+
+    #[test]
+    fn range_boundary() {
+        let f = WormholeFilter::new(RANGE);
+        let me = Point2::ORIGIN;
+        // Exactly at range: NOT "larger than" => proceed.
+        assert_eq!(
+            f.classify(me, Point2::new(RANGE, 0.0), true),
+            WormholeVerdict::Proceed
+        );
+        assert_eq!(
+            f.classify(me, Point2::new(RANGE + 0.001, 0.0), true),
+            WormholeVerdict::WormholeReplay
+        );
+    }
+
+    #[test]
+    fn paper_wormhole_scenario() {
+        // A benign beacon at (100,100) declaring truthfully, replayed to a
+        // detector at (800,700): calculated distance ~922 ft >> range, so
+        // with a working wormhole detector the alert is suppressed.
+        let f = WormholeFilter::new(RANGE);
+        let detector = Point2::new(800.0, 700.0);
+        let benign_decl = Point2::new(100.0, 100.0);
+        assert_eq!(
+            f.classify(detector, benign_decl, true),
+            WormholeVerdict::WormholeReplay
+        );
+        // With the (1 - p_d) failure case, the filter proceeds and a false
+        // alert becomes possible — the paper's false-positive source.
+        assert_eq!(
+            f.classify(detector, benign_decl, false),
+            WormholeVerdict::Proceed
+        );
+    }
+
+    #[test]
+    fn accessor() {
+        assert_eq!(WormholeFilter::new(99.0).range(), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_rejected() {
+        WormholeFilter::new(0.0);
+    }
+}

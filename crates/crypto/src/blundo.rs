@@ -1,0 +1,302 @@
+//! Polynomial-based pairwise key predistribution (Blundo et al.; the basis
+//! of Liu–Ning's scheme, the paper's ref \[17\]).
+//!
+//! A trusted setup samples a symmetric bivariate polynomial
+//! `f(x, y) = Σ a_{ij} x^i y^j` (with `a_{ij} = a_{ji}`) of degree `t`
+//! over the prime field `GF(p)`. Node `u` is preloaded with the univariate
+//! *share* `g_u(y) = f(u, y)`; nodes `u` and `v` independently compute the
+//! same pairwise key `f(u, v) = g_u(v) = g_v(u)` with no interaction.
+//!
+//! The scheme is `t`-collusion-resistant: any coalition holding at most
+//! `t` shares learns nothing about other pairs' keys; `t + 1` shares
+//! reconstruct `f` entirely. Both sides of that threshold are exercised in
+//! the tests via Lagrange interpolation.
+
+use crate::{Key, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The field prime: the largest prime below 2^61 keeps multiplication in
+/// `u128` exact.
+pub const FIELD_PRIME: u64 = 2_305_843_009_213_693_951; // 2^61 - 1 (Mersenne)
+
+fn add(a: u64, b: u64) -> u64 {
+    ((a as u128 + b as u128) % FIELD_PRIME as u128) as u64
+}
+
+fn mul(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % FIELD_PRIME as u128) as u64
+}
+
+fn sub(a: u64, b: u64) -> u64 {
+    ((a as u128 + FIELD_PRIME as u128 - b as u128 % FIELD_PRIME as u128) % FIELD_PRIME as u128)
+        as u64
+}
+
+fn pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= FIELD_PRIME;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn inv(a: u64) -> u64 {
+    // Fermat: a^(p-2) mod p.
+    pow(a, FIELD_PRIME - 2)
+}
+
+/// The trusted-setup side: the full symmetric polynomial.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_crypto::blundo::BlundoSetup;
+/// use secloc_crypto::NodeId;
+///
+/// let setup = BlundoSetup::generate(3, 42);
+/// let alice = setup.share_for(NodeId(1));
+/// let bob = setup.share_for(NodeId(2));
+/// // Both ends derive the same key with no interaction.
+/// assert_eq!(alice.pairwise(NodeId(2)), bob.pairwise(NodeId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlundoSetup {
+    /// Symmetric coefficient matrix `a[i][j]`, degree `t` in each variable.
+    coeffs: Vec<Vec<u64>>,
+}
+
+/// One node's share: the univariate polynomial `g_u(y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlundoShare {
+    owner: NodeId,
+    /// Coefficients of `g_u(y)`, ascending powers.
+    coeffs: Vec<u64>,
+}
+
+impl BlundoSetup {
+    /// Samples a symmetric polynomial of degree `t` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero (a constant polynomial gives every pair the
+    /// same key).
+    pub fn generate(t: usize, seed: u64) -> Self {
+        assert!(t >= 1, "degree must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = t + 1;
+        let mut coeffs = vec![vec![0u64; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in i..n {
+                let a = rng.gen_range(0..FIELD_PRIME);
+                coeffs[i][j] = a;
+                coeffs[j][i] = a; // symmetry
+            }
+        }
+        BlundoSetup { coeffs }
+    }
+
+    /// The collusion threshold `t`.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates `f(x, y)` — setup-side only; nodes never hold `f`.
+    pub fn evaluate(&self, x: u64, y: u64) -> u64 {
+        // Horner in x over inner Horner in y.
+        let mut acc = 0u64;
+        for row in self.coeffs.iter().rev() {
+            let mut inner = 0u64;
+            for &c in row.iter().rev() {
+                inner = add(mul(inner, y), c);
+            }
+            acc = add(mul(acc, x), inner);
+        }
+        acc
+    }
+
+    /// Extracts the share preloaded on node `u`.
+    ///
+    /// Node IDs map to field points as `id + 1` (zero is excluded so the
+    /// constant term is never handed out directly).
+    pub fn share_for(&self, u: NodeId) -> BlundoShare {
+        let x = u.0 as u64 + 1;
+        let n = self.coeffs.len();
+        // g_u(y) coefficients: c_j = sum_i a[i][j] x^i.
+        let mut out = vec![0u64; n];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0u64;
+            for i in (0..n).rev() {
+                acc = add(mul(acc, x), self.coeffs[i][j]);
+            }
+            *slot = acc;
+        }
+        BlundoShare {
+            owner: u,
+            coeffs: out,
+        }
+    }
+}
+
+impl BlundoShare {
+    /// The share's owner.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Computes the pairwise key with `peer`: `g_u(peer)`.
+    pub fn pairwise(&self, peer: NodeId) -> Key {
+        let y = peer.0 as u64 + 1;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add(mul(acc, y), c);
+        }
+        // Spread the 61-bit field element into a 128-bit key via the PRF.
+        Key::new(acc, 0).derive(b"blundo-key")
+    }
+
+    /// Raw field value of `g_u(peer)` — used by the reconstruction tests.
+    pub fn evaluate_raw(&self, peer: NodeId) -> u64 {
+        let y = peer.0 as u64 + 1;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add(mul(acc, y), c);
+        }
+        acc
+    }
+}
+
+/// Lagrange interpolation of `f(x, target)` from `points = (x_i, f(x_i,
+/// target))` — what a coalition of share-holders can compute. Exposed so
+/// the `t`-collusion threshold is testable rather than asserted.
+pub fn interpolate_at(points: &[(u64, u64)], x: u64) -> u64 {
+    let mut acc = 0u64;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut num = 1u64;
+        let mut den = 1u64;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = mul(num, sub(x, xj));
+            den = mul(den, sub(xi, xj));
+        }
+        acc = add(acc, mul(yi, mul(num, inv(den))));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_arithmetic_sane() {
+        assert_eq!(add(FIELD_PRIME - 1, 1), 0);
+        assert_eq!(sub(0, 1), FIELD_PRIME - 1);
+        assert_eq!(mul(inv(12345), 12345), 1);
+        assert_eq!(pow(3, 4), 81);
+    }
+
+    #[test]
+    fn pairwise_keys_agree() {
+        let setup = BlundoSetup::generate(3, 7);
+        for (a, b) in [(0u32, 1u32), (5, 99), (1000, 2)] {
+            let sa = setup.share_for(NodeId(a));
+            let sb = setup.share_for(NodeId(b));
+            assert_eq!(sa.pairwise(NodeId(b)), sb.pairwise(NodeId(a)));
+            assert_eq!(
+                sa.evaluate_raw(NodeId(b)),
+                setup.evaluate(a as u64 + 1, b as u64 + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_distinct_keys() {
+        let setup = BlundoSetup::generate(3, 7);
+        let s0 = setup.share_for(NodeId(0));
+        assert_ne!(s0.pairwise(NodeId(1)), s0.pairwise(NodeId(2)));
+        let other = BlundoSetup::generate(3, 8);
+        assert_ne!(
+            s0.pairwise(NodeId(1)),
+            other.share_for(NodeId(0)).pairwise(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn t_plus_one_shares_reconstruct_a_key() {
+        // A coalition of t+1 nodes CAN compute any pair's key: interpolate
+        // f(., target) from their evaluations.
+        let t = 3;
+        let setup = BlundoSetup::generate(t, 11);
+        let target = NodeId(777);
+        let victim = NodeId(778);
+        let coalition: Vec<NodeId> = (0..=t as u32).map(NodeId).collect();
+        let points: Vec<(u64, u64)> = coalition
+            .iter()
+            .map(|&c| {
+                let share = setup.share_for(c);
+                (c.0 as u64 + 1, share.evaluate_raw(target))
+            })
+            .collect();
+        let reconstructed = interpolate_at(&points, victim.0 as u64 + 1);
+        let truth = setup.evaluate(victim.0 as u64 + 1, target.0 as u64 + 1);
+        assert_eq!(reconstructed, truth, "t+1 coalition must break the scheme");
+    }
+
+    #[test]
+    fn t_shares_do_not_reconstruct() {
+        // With only t shares the interpolation is underdetermined: the
+        // coalition's best guess misses the true key (overwhelmingly).
+        let t = 3;
+        let setup = BlundoSetup::generate(t, 11);
+        let target = NodeId(777);
+        let victim = NodeId(778);
+        let coalition: Vec<NodeId> = (0..t as u32).map(NodeId).collect(); // only t
+        let points: Vec<(u64, u64)> = coalition
+            .iter()
+            .map(|&c| (c.0 as u64 + 1, setup.share_for(c).evaluate_raw(target)))
+            .collect();
+        let guess = interpolate_at(&points, victim.0 as u64 + 1);
+        let truth = setup.evaluate(victim.0 as u64 + 1, target.0 as u64 + 1);
+        assert_ne!(guess, truth, "t shares should not determine the key");
+    }
+
+    #[test]
+    fn share_extraction_consistent_with_full_polynomial() {
+        let setup = BlundoSetup::generate(4, 13);
+        let u = NodeId(42);
+        let share = setup.share_for(u);
+        for peer in [0u32, 1, 99, 4096] {
+            assert_eq!(
+                share.evaluate_raw(NodeId(peer)),
+                setup.evaluate(43, peer as u64 + 1)
+            );
+        }
+        assert_eq!(share.owner(), u);
+        assert_eq!(setup.degree(), 4);
+    }
+
+    #[test]
+    fn interpolation_recovers_simple_polynomial() {
+        // f(x) = 5 + 3x + 2x^2 through 3 points.
+        let f = |x: u64| add(5, add(mul(3, x), mul(2, mul(x, x))));
+        let pts: Vec<(u64, u64)> = [1u64, 2, 3].iter().map(|&x| (x, f(x))).collect();
+        for x in [4u64, 10, 1_000_000] {
+            assert_eq!(interpolate_at(&pts, x), f(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be at least 1")]
+    fn degree_zero_rejected() {
+        BlundoSetup::generate(0, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Cryptographic substrate for secure location discovery.
+//!
+//! The reproduced paper assumes that "two communicating nodes share a unique
+//! pairwise key" established by a random key predistribution scheme
+//! (Eschenauer–Gligor and friends, its refs [3, 6, 7]) and that "every beacon
+//! packet is authenticated ... with the pairwise key shared between two
+//! communicating nodes". This crate builds that assumed substrate:
+//!
+//! - [`prf`] — a from-scratch 64-bit ARX pseudo-random function
+//!   (SipHash-2-4 construction) used as the workhorse for key derivation
+//!   and message authentication;
+//! - [`Mac`] / [`Key`] — packet authentication tags;
+//! - [`NodeId`] / [`IdSpace`] — network identities, including the paper's
+//!   *detecting IDs* that must be indistinguishable from non-beacon IDs;
+//! - [`KeyPool`] / [`KeyRing`] — Eschenauer–Gligor random key
+//!   predistribution with the q-composite variant;
+//! - [`PairwiseKeyStore`] — master-key-derived unique pairwise keys, the
+//!   idealised endpoint the paper assumes, plus per-node base-station keys.
+//!
+//! The primitives are *simulation-grade*: they are real keyed functions with
+//! real verification (forged packets are rejected), but no claim of
+//! production cryptographic strength is made.
+//!
+//! # Examples
+//!
+//! ```
+//! use secloc_crypto::{Key, Mac, NodeId, PairwiseKeyStore};
+//!
+//! let store = PairwiseKeyStore::new(Key::from_u128(0xfeed_beef));
+//! let (a, b) = (NodeId(4), NodeId(9));
+//! let k = store.pairwise(a, b);
+//! assert_eq!(k, store.pairwise(b, a)); // symmetric
+//!
+//! let tag = Mac::compute(&k, b"beacon packet");
+//! assert!(tag.verify(&k, b"beacon packet"));
+//! assert!(!tag.verify(&k, b"tampered packet"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blundo;
+mod identity;
+mod mac;
+pub mod mutesla;
+mod pairwise;
+mod pool;
+pub mod prf;
+
+pub use identity::{IdSpace, NodeId, NodeRole};
+pub use mac::{Key, Mac};
+pub use pairwise::PairwiseKeyStore;
+pub use pool::{KeyPool, KeyRing, SharedKey};

@@ -1,0 +1,374 @@
+//! μTESLA broadcast authentication (Perrig et al., SPINS — the paper's
+//! ref \[24\]).
+//!
+//! The revocation scheme needs the base station to tell *every* node that
+//! a beacon is revoked, and nodes must be able to authenticate that
+//! broadcast without per-node unicast. μTESLA does this with a one-way key
+//! chain and delayed key disclosure:
+//!
+//! 1. offline, the base station generates `K_n → K_{n−1} → … → K_0` with
+//!    `K_{i−1} = F(K_i)` and preloads every sensor with the *commitment*
+//!    `K_0`;
+//! 2. a message sent in interval `i` is MAC'd with `K_i` (still secret);
+//! 3. the base station discloses `K_i` after `d` intervals; receivers
+//!    verify `F^{i−j}(K_i) = K_j` against their newest authenticated key
+//!    `K_j`, then verify the buffered MACs.
+//!
+//! The security condition: a message MAC'd with `K_i` is only *safe* if it
+//! arrived before `K_i` could have been disclosed; later arrivals must be
+//! discarded, which [`MuTeslaReceiver::accept`] enforces.
+
+use crate::prf::prf64;
+use crate::{Key, Mac};
+
+/// Applies the one-way function: `K_{i-1} = F(K_i)`.
+fn one_way(k: Key) -> Key {
+    let (a, b) = k.halves();
+    Key::new(
+        prf64((a, b), b"mutesla-forward-a"),
+        prf64((a, b), b"mutesla-forward-b"),
+    )
+}
+
+/// Derives the MAC key for interval keys (key-chain values are never used
+/// directly as MAC keys, per the SPINS construction).
+fn mac_key(k: Key) -> Key {
+    k.derive(b"mutesla-mac")
+}
+
+/// The broadcaster's side: the full key chain plus the disclosure schedule.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_crypto::mutesla::{MuTeslaBroadcaster, MuTeslaReceiver};
+/// use secloc_crypto::Key;
+///
+/// let bs = MuTeslaBroadcaster::new(Key::from_u128(42), 16, 2);
+/// let mut rx = MuTeslaReceiver::new(bs.commitment(), 2);
+///
+/// let msg = bs.broadcast(3, b"revoke beacon 7");
+/// rx.accept(&msg, 3).unwrap();                  // buffered, not yet usable
+/// rx.disclose(3, bs.disclose(3)).unwrap();      // key arrives d intervals later
+/// assert_eq!(rx.drain_verified(), vec![(3, b"revoke beacon 7".to_vec())]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MuTeslaBroadcaster {
+    /// chain[i] = K_i; chain[0] is the public commitment.
+    chain: Vec<Key>,
+    disclosure_lag: u64,
+}
+
+/// A broadcast message: payload MAC'd under the (still secret) interval key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastMessage {
+    /// The interval whose key authenticates this message.
+    pub interval: u64,
+    /// Message payload.
+    pub payload: Vec<u8>,
+    /// MAC under `mac_key(K_interval)`.
+    pub tag: Mac,
+}
+
+/// Errors on the receiving side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuTeslaError {
+    /// Message arrived at (or after) the interval where its key may
+    /// already be public — it could be forged, so it must be dropped.
+    SecurityConditionViolated,
+    /// A disclosed key did not hash back to the commitment chain.
+    BadKeyChain,
+    /// Interval beyond the chain length.
+    IntervalOutOfRange,
+}
+
+impl std::fmt::Display for MuTeslaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuTeslaError::SecurityConditionViolated => {
+                write!(f, "message arrived after its key could be disclosed")
+            }
+            MuTeslaError::BadKeyChain => write!(f, "disclosed key fails the chain check"),
+            MuTeslaError::IntervalOutOfRange => write!(f, "interval beyond key chain"),
+        }
+    }
+}
+
+impl std::error::Error for MuTeslaError {}
+
+impl MuTeslaBroadcaster {
+    /// Generates a chain of `intervals` keys from `seed`, disclosing each
+    /// key `disclosure_lag` intervals after use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0` or `disclosure_lag == 0`.
+    pub fn new(seed: Key, intervals: u64, disclosure_lag: u64) -> Self {
+        assert!(intervals > 0, "need at least one interval");
+        assert!(disclosure_lag > 0, "disclosure lag must be positive");
+        let last = seed.derive(b"mutesla-chain-head");
+        let mut chain = vec![last];
+        for _ in 0..intervals {
+            let prev = *chain.last().expect("non-empty");
+            chain.push(one_way(prev));
+        }
+        chain.reverse(); // chain[0] = K_0 commitment, chain[n] = head
+        MuTeslaBroadcaster {
+            chain,
+            disclosure_lag,
+        }
+    }
+
+    /// The public commitment `K_0` preloaded on every sensor.
+    pub fn commitment(&self) -> Key {
+        self.chain[0]
+    }
+
+    /// Number of usable intervals.
+    pub fn intervals(&self) -> u64 {
+        self.chain.len() as u64 - 1
+    }
+
+    /// The disclosure lag `d`.
+    pub fn disclosure_lag(&self) -> u64 {
+        self.disclosure_lag
+    }
+
+    /// Broadcasts `payload` in `interval` (1-based; interval 0 is the
+    /// commitment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is 0 or beyond the chain.
+    pub fn broadcast(&self, interval: u64, payload: &[u8]) -> BroadcastMessage {
+        assert!(
+            interval >= 1 && interval <= self.intervals(),
+            "interval {interval} outside 1..={}",
+            self.intervals()
+        );
+        let key = mac_key(self.chain[interval as usize]);
+        BroadcastMessage {
+            interval,
+            payload: payload.to_vec(),
+            tag: Mac::compute(&key, payload),
+        }
+    }
+
+    /// Discloses the key of `interval` (call this `disclosure_lag`
+    /// intervals later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is outside the chain.
+    pub fn disclose(&self, interval: u64) -> Key {
+        assert!(interval <= self.intervals(), "interval out of range");
+        self.chain[interval as usize]
+    }
+}
+
+/// The sensor's side: commitment, buffered messages, verified output.
+#[derive(Debug, Clone)]
+pub struct MuTeslaReceiver {
+    /// Latest authenticated chain key and its interval.
+    anchor: (u64, Key),
+    disclosure_lag: u64,
+    buffer: Vec<BroadcastMessage>,
+    verified: Vec<(u64, Vec<u8>)>,
+}
+
+impl MuTeslaReceiver {
+    /// Creates a receiver holding the preloaded commitment `K_0`.
+    pub fn new(commitment: Key, disclosure_lag: u64) -> Self {
+        MuTeslaReceiver {
+            anchor: (0, commitment),
+            disclosure_lag,
+            buffer: Vec::new(),
+            verified: Vec::new(),
+        }
+    }
+
+    /// Buffers a broadcast received during `now` (the receiver's current
+    /// interval, loosely synchronised).
+    ///
+    /// # Errors
+    ///
+    /// [`MuTeslaError::SecurityConditionViolated`] when the message's key
+    /// may already be public (`now >= interval + lag`) — accepting it would
+    /// allow forgery with a disclosed key.
+    pub fn accept(&mut self, msg: &BroadcastMessage, now: u64) -> Result<(), MuTeslaError> {
+        if now >= msg.interval + self.disclosure_lag {
+            return Err(MuTeslaError::SecurityConditionViolated);
+        }
+        self.buffer.push(msg.clone());
+        Ok(())
+    }
+
+    /// Processes a disclosed key for `interval`, authenticating it against
+    /// the anchor and releasing every buffered message it verifies.
+    ///
+    /// # Errors
+    ///
+    /// [`MuTeslaError::BadKeyChain`] when the key does not hash back to the
+    /// anchor; [`MuTeslaError::IntervalOutOfRange`] when `interval` is not
+    /// newer than the anchor.
+    pub fn disclose(&mut self, interval: u64, key: Key) -> Result<(), MuTeslaError> {
+        let (anchor_i, anchor_k) = self.anchor;
+        if interval <= anchor_i {
+            return Err(MuTeslaError::IntervalOutOfRange);
+        }
+        // Walk the one-way function back to the anchor.
+        let mut k = key;
+        for _ in 0..(interval - anchor_i) {
+            k = one_way(k);
+        }
+        if k != anchor_k {
+            return Err(MuTeslaError::BadKeyChain);
+        }
+        self.anchor = (interval, key);
+        // Verify buffered messages for this interval.
+        let mk = mac_key(key);
+        let (ready, rest): (Vec<_>, Vec<_>) =
+            self.buffer.drain(..).partition(|m| m.interval == interval);
+        self.buffer = rest;
+        for m in ready {
+            if m.tag.verify(&mk, &m.payload) {
+                self.verified.push((m.interval, m.payload));
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes the verified messages accumulated so far.
+    pub fn drain_verified(&mut self) -> Vec<(u64, Vec<u8>)> {
+        std::mem::take(&mut self.verified)
+    }
+
+    /// Messages buffered awaiting key disclosure.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MuTeslaBroadcaster, MuTeslaReceiver) {
+        let bs = MuTeslaBroadcaster::new(Key::from_u128(7), 32, 2);
+        let rx = MuTeslaReceiver::new(bs.commitment(), 2);
+        (bs, rx)
+    }
+
+    #[test]
+    fn chain_is_one_way_consistent() {
+        let bs = MuTeslaBroadcaster::new(Key::from_u128(1), 8, 1);
+        for i in 1..=8u64 {
+            assert_eq!(one_way(bs.disclose(i)), bs.disclose(i - 1));
+        }
+        assert_eq!(bs.disclose(0), bs.commitment());
+        assert_eq!(bs.intervals(), 8);
+    }
+
+    #[test]
+    fn broadcast_verify_roundtrip() {
+        let (bs, mut rx) = setup();
+        let m = bs.broadcast(5, b"revoke n9");
+        rx.accept(&m, 5).unwrap();
+        assert_eq!(rx.pending(), 1);
+        rx.disclose(5, bs.disclose(5)).unwrap();
+        assert_eq!(rx.drain_verified(), vec![(5, b"revoke n9".to_vec())]);
+        assert_eq!(rx.pending(), 0);
+    }
+
+    #[test]
+    fn late_message_rejected_by_security_condition() {
+        let (bs, mut rx) = setup();
+        let m = bs.broadcast(5, b"x");
+        // Arrives at interval 7 = 5 + lag: key may be public => reject.
+        assert_eq!(
+            rx.accept(&m, 7),
+            Err(MuTeslaError::SecurityConditionViolated)
+        );
+        assert!(rx.accept(&m, 6).is_ok());
+    }
+
+    #[test]
+    fn forged_key_rejected() {
+        let (_bs, mut rx) = setup();
+        assert_eq!(
+            rx.disclose(3, Key::from_u128(0xbad)),
+            Err(MuTeslaError::BadKeyChain)
+        );
+    }
+
+    #[test]
+    fn forged_payload_dropped_silently() {
+        let (bs, mut rx) = setup();
+        let mut m = bs.broadcast(4, b"genuine");
+        m.payload = b"tampered".to_vec();
+        rx.accept(&m, 4).unwrap();
+        rx.disclose(4, bs.disclose(4)).unwrap();
+        assert!(rx.drain_verified().is_empty());
+    }
+
+    #[test]
+    fn attacker_with_disclosed_key_cannot_forge_new_intervals() {
+        let (bs, mut rx) = setup();
+        // Attacker learns K_3 after disclosure and forges a message
+        // claiming interval 4 with it.
+        let k3 = bs.disclose(3);
+        let forged = BroadcastMessage {
+            interval: 4,
+            payload: b"evil".to_vec(),
+            tag: Mac::compute(&mac_key(k3), b"evil"),
+        };
+        rx.accept(&forged, 4).unwrap();
+        rx.disclose(4, bs.disclose(4)).unwrap();
+        assert!(rx.drain_verified().is_empty(), "forgery verified!");
+    }
+
+    #[test]
+    fn skipped_disclosures_still_authenticate() {
+        // Receiver misses keys 1..6 and only hears K_7: the chain walk
+        // covers the gap.
+        let (bs, mut rx) = setup();
+        let m = bs.broadcast(7, b"late chain");
+        rx.accept(&m, 7).unwrap();
+        rx.disclose(7, bs.disclose(7)).unwrap();
+        assert_eq!(rx.drain_verified().len(), 1);
+    }
+
+    #[test]
+    fn stale_disclosure_rejected() {
+        let (bs, mut rx) = setup();
+        rx.disclose(5, bs.disclose(5)).unwrap();
+        assert_eq!(
+            rx.disclose(5, bs.disclose(5)),
+            Err(MuTeslaError::IntervalOutOfRange)
+        );
+        assert_eq!(
+            rx.disclose(3, bs.disclose(3)),
+            Err(MuTeslaError::IntervalOutOfRange)
+        );
+    }
+
+    #[test]
+    fn multiple_messages_per_interval() {
+        let (bs, mut rx) = setup();
+        rx.accept(&bs.broadcast(2, b"a"), 2).unwrap();
+        rx.accept(&bs.broadcast(2, b"b"), 2).unwrap();
+        rx.accept(&bs.broadcast(3, b"c"), 3).unwrap();
+        rx.disclose(2, bs.disclose(2)).unwrap();
+        assert_eq!(rx.drain_verified().len(), 2);
+        assert_eq!(rx.pending(), 1); // "c" still awaits K_3
+        rx.disclose(3, bs.disclose(3)).unwrap();
+        assert_eq!(rx.drain_verified(), vec![(3, b"c".to_vec())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn broadcast_interval_bounds_checked() {
+        let (bs, _) = setup();
+        bs.broadcast(33, b"x");
+    }
+}

@@ -1,0 +1,320 @@
+//! Eschenauer–Gligor random key predistribution.
+//!
+//! The paper cites random key predistribution ([3] Chan–Perrig–Song,
+//! [7] Eschenauer–Gligor, [6] Du et al.) as the mechanism establishing the
+//! pairwise keys its protocols assume. This module implements the basic
+//! scheme and its q-composite variant so key-establishment coverage can be
+//! studied end to end:
+//!
+//! 1. a [`KeyPool`] of `P` random keys is generated offline;
+//! 2. each node is preloaded with a [`KeyRing`] of `k` distinct key IDs;
+//! 3. two neighbours discover shared key IDs and, if they have at least `q`
+//!    in common, derive a link key from all shared keys.
+
+use crate::{Key, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Identifier of a key within a [`KeyPool`].
+pub type KeyId = u32;
+
+/// The offline key pool of the Eschenauer–Gligor scheme.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_crypto::{Key, KeyPool, NodeId};
+///
+/// let pool = KeyPool::generate(Key::from_u128(9), 1000);
+/// let ra = pool.assign_ring(NodeId(0), 50, 1);
+/// let rb = pool.assign_ring(NodeId(1), 50, 2);
+/// // Probability of sharing a key is ~1 - ((P-k)! )^2 / (P! (P-2k)!) ~ 0.92.
+/// let _maybe_link = pool.establish(&ra, &rb, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyPool {
+    master: Key,
+    size: u32,
+}
+
+/// The key ring preloaded on one node: a sorted set of key IDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRing {
+    owner: NodeId,
+    ids: Vec<KeyId>,
+}
+
+/// A link key established between two rings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedKey {
+    /// The derived link key.
+    pub key: Key,
+    /// How many pool keys the two rings had in common.
+    pub overlap: usize,
+}
+
+impl KeyPool {
+    /// Generates a pool of `size` keys rooted at `master`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn generate(master: Key, size: u32) -> Self {
+        assert!(size > 0, "key pool must be non-empty");
+        KeyPool { master, size }
+    }
+
+    /// Number of keys in the pool (the scheme's `P`).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The pool key with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the pool.
+    pub fn key(&self, id: KeyId) -> Key {
+        assert!(id < self.size, "key id {id} outside pool of {}", self.size);
+        self.master.derive_indexed(b"pool", id as u64)
+    }
+
+    /// Draws a ring of `ring_size` distinct key IDs for `owner`.
+    ///
+    /// The draw is seeded so a deployment is reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_size` exceeds the pool size.
+    pub fn assign_ring(&self, owner: NodeId, ring_size: u32, seed: u64) -> KeyRing {
+        assert!(
+            ring_size <= self.size,
+            "ring size {ring_size} exceeds pool size {}",
+            self.size
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ ((owner.0 as u64) << 32));
+        let mut all: Vec<KeyId> = (0..self.size).collect();
+        all.shuffle(&mut rng);
+        let mut ids: Vec<KeyId> = all.into_iter().take(ring_size as usize).collect();
+        ids.sort_unstable();
+        KeyRing { owner, ids }
+    }
+
+    /// Attempts key establishment between two rings with the q-composite
+    /// rule: succeed only if at least `q` key IDs are shared; the link key
+    /// is derived from *all* shared keys (so capturing fewer than all of
+    /// them does not reveal the link key).
+    ///
+    /// Returns `None` when fewer than `q` keys are shared. Passing `q = 1`
+    /// gives the basic Eschenauer–Gligor scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn establish(&self, a: &KeyRing, b: &KeyRing, q: usize) -> Option<SharedKey> {
+        assert!(q >= 1, "q-composite requires q >= 1");
+        let shared = a.shared_ids(b);
+        if shared.len() < q {
+            return None;
+        }
+        // Fold all shared pool keys plus the (sorted) pair into one key.
+        let (lo, hi) = if a.owner.0 <= b.owner.0 {
+            (a.owner, b.owner)
+        } else {
+            (b.owner, a.owner)
+        };
+        let mut material = Vec::with_capacity(8 + shared.len() * 4);
+        material.extend_from_slice(&lo.0.to_le_bytes());
+        material.extend_from_slice(&hi.0.to_le_bytes());
+        let mut acc = self.master.derive(b"link");
+        for id in &shared {
+            let k = self.key(*id);
+            acc = acc.derive_indexed(b"fold", k.halves().0 ^ k.halves().1);
+        }
+        Some(SharedKey {
+            key: acc.derive(&material),
+            overlap: shared.len(),
+        })
+    }
+
+    /// Probability that two nodes share at least one key, for pool size `p`
+    /// and ring size `k` (Eschenauer–Gligor eq. 1):
+    /// `1 - C(p-k, k) / C(p, k)`.
+    pub fn connectivity_probability(p: u32, k: u32) -> f64 {
+        if 2 * k > p {
+            return 1.0;
+        }
+        // C(p-k,k)/C(p,k) = prod_{i=0..k-1} (p-k-i)/(p-i)
+        let mut ratio = 1.0f64;
+        for i in 0..k {
+            ratio *= (p - k - i) as f64 / (p - i) as f64;
+        }
+        1.0 - ratio
+    }
+}
+
+impl KeyRing {
+    /// The node this ring was assigned to.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The key IDs on the ring, sorted ascending.
+    pub fn ids(&self) -> &[KeyId] {
+        &self.ids
+    }
+
+    /// Key IDs shared with `other` (sorted) — the "key discovery" phase.
+    pub fn shared_ids(&self, other: &KeyRing) -> Vec<KeyId> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> KeyPool {
+        KeyPool::generate(Key::from_u128(42), 200)
+    }
+
+    #[test]
+    fn rings_are_distinct_sorted_and_sized() {
+        let p = pool();
+        let r = p.assign_ring(NodeId(7), 50, 1);
+        assert_eq!(r.ids().len(), 50);
+        assert!(r.ids().windows(2).all(|w| w[0] < w[1]), "sorted+deduped");
+        assert!(r.ids().iter().all(|&id| id < 200));
+        assert_eq!(r.owner(), NodeId(7));
+    }
+
+    #[test]
+    fn ring_assignment_is_deterministic() {
+        let p = pool();
+        assert_eq!(
+            p.assign_ring(NodeId(3), 20, 9),
+            p.assign_ring(NodeId(3), 20, 9)
+        );
+        assert_ne!(
+            p.assign_ring(NodeId(3), 20, 9).ids(),
+            p.assign_ring(NodeId(4), 20, 9).ids()
+        );
+    }
+
+    #[test]
+    fn establishment_symmetric_and_overlap_counted() {
+        let p = pool();
+        let a = p.assign_ring(NodeId(0), 80, 5);
+        let b = p.assign_ring(NodeId(1), 80, 5);
+        let ab = p
+            .establish(&a, &b, 1)
+            .expect("80/200 rings almost surely share");
+        let ba = p.establish(&b, &a, 1).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(ab.overlap, a.shared_ids(&b).len());
+    }
+
+    #[test]
+    fn q_composite_threshold_enforced() {
+        let p = pool();
+        let a = p.assign_ring(NodeId(0), 80, 5);
+        let b = p.assign_ring(NodeId(1), 80, 5);
+        let overlap = a.shared_ids(&b).len();
+        assert!(p.establish(&a, &b, overlap).is_some());
+        assert!(p.establish(&a, &b, overlap + 1).is_none());
+    }
+
+    #[test]
+    fn disjoint_rings_fail() {
+        let p = KeyPool::generate(Key::from_u128(1), 10);
+        let a = KeyRing {
+            owner: NodeId(0),
+            ids: vec![0, 1, 2],
+        };
+        let b = KeyRing {
+            owner: NodeId(1),
+            ids: vec![3, 4, 5],
+        };
+        assert!(p.establish(&a, &b, 1).is_none());
+        assert!(a.shared_ids(&b).is_empty());
+    }
+
+    #[test]
+    fn link_keys_unique_per_pair() {
+        let p = KeyPool::generate(Key::from_u128(1), 4);
+        let full = |n: u32| KeyRing {
+            owner: NodeId(n),
+            ids: vec![0, 1, 2, 3],
+        };
+        let k01 = p.establish(&full(0), &full(1), 1).unwrap().key;
+        let k02 = p.establish(&full(0), &full(2), 1).unwrap().key;
+        assert_ne!(k01, k02);
+    }
+
+    #[test]
+    fn connectivity_probability_reference_points() {
+        // Degenerate cases.
+        assert_eq!(KeyPool::connectivity_probability(100, 51), 1.0);
+        assert_eq!(KeyPool::connectivity_probability(100, 0), 0.0);
+        // EG's canonical example: P=10000, k=75 gives ~0.43 probability.
+        let pr = KeyPool::connectivity_probability(10_000, 75);
+        assert!((pr - 0.43).abs() < 0.02, "got {pr}");
+        // Monotone in ring size.
+        assert!(
+            KeyPool::connectivity_probability(1000, 60)
+                > KeyPool::connectivity_probability(1000, 30)
+        );
+    }
+
+    #[test]
+    fn empirical_connectivity_matches_formula() {
+        let p = KeyPool::generate(Key::from_u128(5), 100);
+        let k = 15;
+        let rings: Vec<KeyRing> = (0..80).map(|i| p.assign_ring(NodeId(i), k, 77)).collect();
+        let mut connected = 0usize;
+        let mut total = 0usize;
+        for i in 0..rings.len() {
+            for j in i + 1..rings.len() {
+                total += 1;
+                if !rings[i].shared_ids(&rings[j]).is_empty() {
+                    connected += 1;
+                }
+            }
+        }
+        let expected = KeyPool::connectivity_probability(100, k);
+        let measured = connected as f64 / total as f64;
+        assert!(
+            (measured - expected).abs() < 0.05,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pool size")]
+    fn oversized_ring_rejected() {
+        pool().assign_ring(NodeId(0), 201, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q >= 1")]
+    fn zero_q_rejected() {
+        let p = pool();
+        let a = p.assign_ring(NodeId(0), 10, 0);
+        let b = p.assign_ring(NodeId(1), 10, 0);
+        p.establish(&a, &b, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Bucket-grid spatial index for neighbourhood queries.
+
+use crate::{Field, Point2};
+
+/// A uniform bucket grid over a [`Field`] answering range queries.
+///
+/// Positions are stored once at build time (node positions are static in the
+/// reproduced paper) and queried many times — every beacon exchange needs the
+/// set of nodes within radio range. With bucket size equal to the query
+/// radius, a query touches at most 9 buckets.
+///
+/// Indices returned by queries refer to the order of the iterator passed to
+/// [`GridIndex::build`].
+///
+/// # Examples
+///
+/// ```
+/// use secloc_geometry::{Field, GridIndex, Point2};
+///
+/// let field = Field::square(100.0);
+/// let pts = vec![Point2::new(10.0, 10.0), Point2::new(90.0, 90.0)];
+/// let idx = GridIndex::build(&field, 20.0, pts.iter().copied());
+/// assert_eq!(idx.within(Point2::new(12.0, 12.0), 20.0), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+    positions: Vec<Point2>,
+}
+
+impl GridIndex {
+    /// Builds an index over `positions` with bucket side `cell` (feet).
+    ///
+    /// `cell` should normally equal the most common query radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not finite and positive, or if any position lies
+    /// outside `field`.
+    pub fn build<I>(field: &Field, cell: f64, positions: I) -> Self
+    where
+        I: IntoIterator<Item = Point2>,
+    {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell must be positive, got {cell}"
+        );
+        let cols = (field.width() / cell).ceil().max(1.0) as usize;
+        let rows = (field.height() / cell).ceil().max(1.0) as usize;
+        let mut index = GridIndex {
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            positions: Vec::new(),
+        };
+        for p in positions {
+            assert!(field.contains(p), "position {p} outside {field}");
+            let id = index.positions.len() as u32;
+            let b = index.bucket_of(p);
+            index.buckets[b].push(id);
+            index.positions.push(p);
+        }
+        index
+    }
+
+    /// Number of indexed positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when the index holds no positions.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn position(&self, i: usize) -> Point2 {
+        self.positions[i]
+    }
+
+    /// All indexed positions, in insertion order.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Indices of all positions within `radius` of `center` (inclusive),
+    /// sorted ascending.
+    pub fn within(&self, center: Point2, radius: f64) -> Vec<usize> {
+        let r2 = radius * radius;
+        let mut out: Vec<usize> = Vec::new();
+        let min_cx = (((center.x - radius) / self.cell).floor().max(0.0)) as usize;
+        let min_cy = (((center.y - radius) / self.cell).floor().max(0.0)) as usize;
+        let max_cx = ((((center.x + radius) / self.cell).floor()) as usize).min(self.cols - 1);
+        let max_cy = ((((center.y + radius) / self.cell).floor()) as usize).min(self.rows - 1);
+        if center.x + radius < 0.0 || center.y + radius < 0.0 {
+            return out;
+        }
+        for cy in min_cy..=max_cy {
+            for cx in min_cx..=max_cx {
+                for &id in &self.buckets[cy * self.cols + cx] {
+                    if self.positions[id as usize].distance_squared(center) <= r2 {
+                        out.push(id as usize);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Like [`GridIndex::within`] but excluding index `me` — the usual
+    /// "neighbours of node `me`" query.
+    pub fn neighbors_of(&self, me: usize, radius: f64) -> Vec<usize> {
+        let mut v = self.within(self.positions[me], radius);
+        v.retain(|&i| i != me);
+        v
+    }
+
+    fn bucket_of(&self, p: Point2) -> usize {
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy;
+
+    fn brute_force(pts: &[Point2], c: Point2, r: f64) -> Vec<usize> {
+        pts.iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(c) <= r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_deployments() {
+        let field = Field::new(500.0, 300.0);
+        let pts = deploy::uniform(&field, 400, 17);
+        let idx = GridIndex::build(&field, 60.0, pts.iter().copied());
+        for (i, &q) in pts.iter().enumerate().step_by(13) {
+            for r in [1.0, 25.0, 60.0, 130.0] {
+                assert_eq!(
+                    idx.within(q, r),
+                    brute_force(&pts, q, r),
+                    "query {i} radius {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let field = Field::square(100.0);
+        let pts = [Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        let idx = GridIndex::build(&field, 10.0, pts.iter().copied());
+        assert_eq!(idx.within(Point2::new(0.0, 0.0), 10.0), vec![0, 1]);
+        assert_eq!(idx.within(Point2::new(0.0, 0.0), 9.999), vec![0]);
+    }
+
+    #[test]
+    fn neighbors_excludes_self() {
+        let field = Field::square(10.0);
+        let pts = [Point2::new(5.0, 5.0), Point2::new(5.5, 5.0)];
+        let idx = GridIndex::build(&field, 2.0, pts.iter().copied());
+        assert_eq!(idx.neighbors_of(0, 1.0), vec![1]);
+        assert_eq!(idx.neighbors_of(1, 0.1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn query_outside_field_is_safe() {
+        let field = Field::square(50.0);
+        let pts = [Point2::new(1.0, 1.0)];
+        let idx = GridIndex::build(&field, 10.0, pts.iter().copied());
+        assert_eq!(
+            idx.within(Point2::new(-100.0, -100.0), 5.0),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            idx.within(Point2::new(200.0, 200.0), 5.0),
+            Vec::<usize>::new()
+        );
+        // A query centred outside but reaching inside still works.
+        assert_eq!(idx.within(Point2::new(-1.0, 1.0), 3.0), vec![0]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let field = Field::square(10.0);
+        let idx = GridIndex::build(&field, 5.0, std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(
+            idx.within(Point2::new(5.0, 5.0), 100.0),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_positions_outside_field() {
+        let field = Field::square(10.0);
+        GridIndex::build(&field, 5.0, [Point2::new(20.0, 0.0)]);
+    }
+
+    #[test]
+    fn positions_accessor_preserves_order() {
+        let field = Field::square(10.0);
+        let pts = [Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)];
+        let idx = GridIndex::build(&field, 5.0, pts.iter().copied());
+        assert_eq!(idx.positions(), &pts[..]);
+        assert_eq!(idx.position(1), pts[1]);
+        assert_eq!(idx.len(), 2);
+    }
+}

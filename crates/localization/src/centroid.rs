@@ -1,0 +1,109 @@
+//! Centroid localization.
+
+use crate::{Estimate, EstimateError, Estimator, LocationReference};
+use secloc_geometry::{Point2, Vector2};
+
+/// The (weighted) centroid scheme of Bulusu, Heidemann & Estrin — the
+/// paper's reference \[2\], "GPS-less low cost outdoor localization".
+///
+/// The node positions itself at the centroid of the beacon locations it can
+/// hear, optionally weighting each beacon by `1 / (distance + 1)` so nearer
+/// beacons count more. Coarse but nearly free, and its sensitivity to a
+/// single lying beacon makes it a vivid demonstration workload for the
+/// paper's detection suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CentroidEstimator {
+    /// Weight anchors by proximity instead of uniformly (off by default).
+    pub distance_weighted: bool,
+}
+
+impl Estimator for CentroidEstimator {
+    fn estimate(&self, refs: &[LocationReference]) -> Result<Estimate, EstimateError> {
+        if refs.len() < self.min_references() {
+            return Err(EstimateError::TooFewReferences {
+                got: refs.len(),
+                need: self.min_references(),
+            });
+        }
+        let mut acc = Vector2::ZERO;
+        let mut total = 0.0f64;
+        for r in refs {
+            let w = if self.distance_weighted {
+                1.0 / (r.distance() + 1.0)
+            } else {
+                1.0
+            };
+            acc += (r.anchor() - Point2::ORIGIN) * w;
+            total += w;
+        }
+        let position = Point2::ORIGIN + acc / total;
+        Ok(Estimate::at(position, refs))
+    }
+
+    fn min_references(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_centroid_of_square() {
+        let refs: Vec<LocationReference> = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]
+            .iter()
+            .map(|&(x, y)| LocationReference::new(Point2::new(x, y), 7.0))
+            .collect();
+        let e = CentroidEstimator::default().estimate(&refs).unwrap();
+        assert!(e.position.distance(Point2::new(5.0, 5.0)) < 1e-12);
+    }
+
+    #[test]
+    fn single_reference_sits_on_anchor() {
+        let refs = vec![LocationReference::new(Point2::new(3.0, 4.0), 2.0)];
+        let e = CentroidEstimator::default().estimate(&refs).unwrap();
+        assert_eq!(e.position, Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn weighted_pulls_toward_near_beacon() {
+        let refs = vec![
+            LocationReference::new(Point2::new(0.0, 0.0), 1.0), // near
+            LocationReference::new(Point2::new(100.0, 0.0), 99.0), // far
+        ];
+        let uniform = CentroidEstimator {
+            distance_weighted: false,
+        }
+        .estimate(&refs)
+        .unwrap();
+        let weighted = CentroidEstimator {
+            distance_weighted: true,
+        }
+        .estimate(&refs)
+        .unwrap();
+        assert!((uniform.position.x - 50.0).abs() < 1e-12);
+        assert!(weighted.position.x < 10.0, "{}", weighted.position);
+    }
+
+    #[test]
+    fn empty_refs_rejected() {
+        assert_eq!(
+            CentroidEstimator::default().estimate(&[]),
+            Err(EstimateError::TooFewReferences { got: 0, need: 1 })
+        );
+    }
+
+    #[test]
+    fn lying_beacon_drags_centroid() {
+        let honest: Vec<LocationReference> = [(0.0, 0.0), (10.0, 0.0), (5.0, 10.0)]
+            .iter()
+            .map(|&(x, y)| LocationReference::new(Point2::new(x, y), 5.0))
+            .collect();
+        let h = CentroidEstimator::default().estimate(&honest).unwrap();
+        let mut attacked = honest;
+        attacked.push(LocationReference::new(Point2::new(1000.0, 1000.0), 5.0));
+        let a = CentroidEstimator::default().estimate(&attacked).unwrap();
+        assert!(a.position.distance(h.position) > 200.0);
+    }
+}

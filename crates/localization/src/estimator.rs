@@ -1,0 +1,123 @@
+//! The estimator interface shared by all localization schemes.
+
+use crate::LocationReference;
+use secloc_geometry::Point2;
+use std::fmt;
+
+/// Why an estimator could not produce a position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateError {
+    /// Fewer references than the estimator's minimum (contained value).
+    TooFewReferences {
+        /// References supplied.
+        got: usize,
+        /// Minimum the estimator needs.
+        need: usize,
+    },
+    /// The anchor geometry is degenerate (e.g. all anchors collinear), so
+    /// the position is not uniquely determined.
+    DegenerateGeometry,
+    /// The iterative refinement failed to converge.
+    DidNotConverge,
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::TooFewReferences { got, need } => {
+                write!(f, "estimator needs {need} references, got {got}")
+            }
+            EstimateError::DegenerateGeometry => {
+                write!(f, "anchor geometry does not determine a unique position")
+            }
+            EstimateError::DidNotConverge => write!(f, "refinement did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// A position estimate with its goodness-of-fit diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The estimated position.
+    pub position: Point2,
+    /// Root-mean-square of per-reference residuals at `position`, in feet.
+    /// Large values indicate inconsistent (possibly malicious) references.
+    pub residual_rms: f64,
+}
+
+impl Estimate {
+    /// Computes the estimate diagnostics for `position` against `refs`.
+    pub fn at(position: Point2, refs: &[LocationReference]) -> Estimate {
+        let rms = if refs.is_empty() {
+            0.0
+        } else {
+            (refs
+                .iter()
+                .map(|r| r.residual_at(position).powi(2))
+                .sum::<f64>()
+                / refs.len() as f64)
+                .sqrt()
+        };
+        Estimate {
+            position,
+            residual_rms: rms,
+        }
+    }
+}
+
+/// A localization scheme mapping location references to a position.
+pub trait Estimator {
+    /// Estimates a position from `refs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EstimateError`] when the references are too few or
+    /// geometrically degenerate, or the solver fails to converge.
+    fn estimate(&self, refs: &[LocationReference]) -> Result<Estimate, EstimateError>;
+
+    /// The minimum number of references this estimator requires.
+    fn min_references(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_rms_zero_for_consistent_refs() {
+        let truth = Point2::new(3.0, 4.0);
+        let refs = vec![
+            LocationReference::new(Point2::ORIGIN, 5.0),
+            LocationReference::new(Point2::new(3.0, 0.0), 4.0),
+        ];
+        let e = Estimate::at(truth, &refs);
+        assert!(e.residual_rms < 1e-12);
+    }
+
+    #[test]
+    fn estimate_rms_positive_for_inconsistent_refs() {
+        let refs = vec![
+            LocationReference::new(Point2::ORIGIN, 5.0),
+            LocationReference::new(Point2::new(3.0, 0.0), 100.0),
+        ];
+        let e = Estimate::at(Point2::new(3.0, 4.0), &refs);
+        assert!(e.residual_rms > 50.0);
+    }
+
+    #[test]
+    fn empty_refs_zero_rms() {
+        let e = Estimate::at(Point2::ORIGIN, &[]);
+        assert_eq!(e.residual_rms, 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EstimateError::TooFewReferences { got: 2, need: 3 }
+            .to_string()
+            .contains("needs 3"));
+        assert!(!EstimateError::DegenerateGeometry.to_string().is_empty());
+        assert!(!EstimateError::DidNotConverge.to_string().is_empty());
+    }
+}

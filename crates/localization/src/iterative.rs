@@ -1,0 +1,285 @@
+//! Iterative multilateration with beacon promotion.
+//!
+//! "In some cases, a non-beacon node may become a beacon node to supply
+//! location references once it discovers its own location. Localization
+//! error may accumulate when more and more non-beacon nodes turn into
+//! beacon nodes." (paper §2.3). This module implements that mode so the
+//! accumulation effect — and the continued applicability of the consistency
+//! constraints the detector relies on — can be measured.
+
+use crate::{Estimate, Estimator, LocationReference, MmseEstimator};
+use secloc_geometry::Point2;
+
+/// Parameters of an iterative localization pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterativeConfig {
+    /// Radio range: only anchors within this distance supply references.
+    pub range_ft: f64,
+    /// References required before a node attempts to localize.
+    pub min_references: usize,
+    /// Maximum promotion waves.
+    pub max_rounds: usize,
+}
+
+impl Default for IterativeConfig {
+    fn default() -> Self {
+        IterativeConfig {
+            range_ft: 150.0,
+            min_references: 3,
+            max_rounds: 16,
+        }
+    }
+}
+
+/// Result of a network-wide iterative localization pass.
+#[derive(Debug, Clone)]
+pub struct IterativeOutcome {
+    /// Per-unknown estimate (`None` when the node never localized), indexed
+    /// like the `unknowns` input.
+    pub estimates: Vec<Option<Estimate>>,
+    /// The wave in which each node localized (0-based), `None` if never.
+    pub wave: Vec<Option<usize>>,
+    /// Number of waves executed.
+    pub rounds: usize,
+}
+
+impl IterativeOutcome {
+    /// Number of nodes that obtained a position.
+    pub fn localized_count(&self) -> usize {
+        self.estimates.iter().flatten().count()
+    }
+
+    /// Mean localization error against the true positions, over localized
+    /// nodes only. Returns `None` when nothing localized.
+    pub fn mean_error(&self, truths: &[Point2]) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (est, truth) in self.estimates.iter().zip(truths) {
+            if let Some(e) = est {
+                sum += e.position.distance(*truth);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Mean error restricted to nodes localized in `wave`.
+    pub fn mean_error_in_wave(&self, truths: &[Point2], wave: usize) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for ((est, w), truth) in self.estimates.iter().zip(&self.wave).zip(truths) {
+            if *w == Some(wave) {
+                if let Some(e) = est {
+                    sum += e.position.distance(*truth);
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+/// Runs iterative multilateration over a static network.
+///
+/// `anchors` are true beacon nodes (location known exactly); `unknowns` are
+/// the true positions of non-beacon nodes, used only to derive true
+/// distances. `measure` maps a true distance to a measured one (plug in a
+/// [`secloc_radio`-style] ranging model or the identity for noiseless runs).
+///
+/// Nodes that gather at least `config.min_references` references from
+/// in-range anchors (original or promoted) estimate their position with
+/// [`MmseEstimator`]; successfully localized nodes are *promoted* and serve
+/// their **estimated** position to later waves, so measurement error
+/// compounds exactly as §2.3 warns.
+///
+/// [`secloc_radio`-style]: crate
+pub fn localize_network<F>(
+    anchors: &[Point2],
+    unknowns: &[Point2],
+    config: &IterativeConfig,
+    mut measure: F,
+) -> IterativeOutcome
+where
+    F: FnMut(f64) -> f64,
+{
+    let estimator = MmseEstimator::default();
+    let mut estimates: Vec<Option<Estimate>> = vec![None; unknowns.len()];
+    let mut wave_of: Vec<Option<usize>> = vec![None; unknowns.len()];
+    let mut rounds = 0usize;
+
+    for round in 0..config.max_rounds {
+        let mut promoted_this_round = Vec::new();
+        for (i, &truth) in unknowns.iter().enumerate() {
+            if estimates[i].is_some() {
+                continue;
+            }
+            let mut refs = Vec::new();
+            for &a in anchors {
+                let d = truth.distance(a);
+                if d <= config.range_ft {
+                    refs.push(LocationReference::new(a, measure(d).max(0.0)));
+                }
+            }
+            for (j, est) in estimates.iter().enumerate() {
+                if let Some(e) = est {
+                    let d = truth.distance(unknowns[j]);
+                    if d <= config.range_ft {
+                        refs.push(LocationReference::new(e.position, measure(d).max(0.0)));
+                    }
+                }
+            }
+            if refs.len() >= config.min_references {
+                if let Ok(e) = estimator.estimate(&refs) {
+                    promoted_this_round.push((i, e));
+                }
+            }
+        }
+        if promoted_this_round.is_empty() {
+            break;
+        }
+        rounds = round + 1;
+        for (i, e) in promoted_this_round {
+            estimates[i] = Some(e);
+            wave_of[i] = Some(round);
+        }
+    }
+
+    IterativeOutcome {
+        estimates,
+        wave: wave_of,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dense_anchors_localize_everyone_in_one_wave() {
+        let anchors = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(100.0, 0.0),
+            Point2::new(0.0, 100.0),
+            Point2::new(100.0, 100.0),
+        ];
+        let unknowns = vec![Point2::new(30.0, 40.0), Point2::new(70.0, 60.0)];
+        let cfg = IterativeConfig {
+            range_ft: 200.0,
+            ..Default::default()
+        };
+        let out = localize_network(&anchors, &unknowns, &cfg, |d| d);
+        assert_eq!(out.localized_count(), 2);
+        assert_eq!(out.rounds, 1);
+        assert!(out.mean_error(&unknowns).unwrap() < 1e-6);
+        assert_eq!(out.wave, vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn chain_localizes_in_waves() {
+        // Anchors cluster on the left; a chain of unknowns extends right,
+        // each only reachable once its left neighbourhood has localized.
+        let anchors = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(60.0, 0.0),
+            Point2::new(30.0, 50.0),
+            Point2::new(30.0, -50.0),
+        ];
+        let unknowns = vec![
+            Point2::new(80.0, 10.0),
+            Point2::new(85.0, -15.0),
+            Point2::new(95.0, 35.0),
+            Point2::new(170.0, 5.0), // reachable only via promoted nodes
+        ];
+        let cfg = IterativeConfig {
+            range_ft: 100.0,
+            min_references: 3,
+            max_rounds: 8,
+        };
+        let out = localize_network(&anchors, &unknowns, &cfg, |d| d);
+        assert_eq!(out.localized_count(), 4);
+        assert!(
+            out.rounds >= 2,
+            "expected multiple waves, got {}",
+            out.rounds
+        );
+        assert!(out.wave[3] > out.wave[0]);
+        assert!(out.mean_error(&unknowns).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn isolated_node_never_localizes() {
+        let anchors = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(0.0, 10.0),
+        ];
+        let unknowns = vec![Point2::new(5.0, 5.0), Point2::new(500.0, 500.0)];
+        let cfg = IterativeConfig {
+            range_ft: 50.0,
+            ..Default::default()
+        };
+        let out = localize_network(&anchors, &unknowns, &cfg, |d| d);
+        assert_eq!(out.localized_count(), 1);
+        assert_eq!(out.estimates[1], None);
+        assert_eq!(out.wave[1], None);
+    }
+
+    #[test]
+    fn error_accumulates_across_waves_under_noise() {
+        // Build a long corridor: anchors at the left end only.
+        let anchors = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 80.0),
+            Point2::new(40.0, 40.0),
+            Point2::new(20.0, 10.0),
+        ];
+        // Unknowns every 50 ft down the corridor, with side nodes so each
+        // wave has enough geometry.
+        let mut unknowns = Vec::new();
+        for k in 1..=8 {
+            let x = 40.0 + 45.0 * k as f64;
+            unknowns.push(Point2::new(x, 20.0));
+            unknowns.push(Point2::new(x, 60.0));
+            unknowns.push(Point2::new(x - 20.0, 40.0));
+        }
+        let cfg = IterativeConfig {
+            range_ft: 110.0,
+            min_references: 3,
+            max_rounds: 30,
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let out = localize_network(&anchors, &unknowns, &cfg, |d| {
+            (d + rng.gen_range(-3.0..=3.0)).max(0.0)
+        });
+        assert!(out.localized_count() > unknowns.len() / 2);
+        let early = out
+            .mean_error_in_wave(&unknowns, 0)
+            .expect("wave 0 localized someone");
+        let last_wave = (0..out.rounds)
+            .rev()
+            .find(|&w| out.mean_error_in_wave(&unknowns, w).is_some() && w > 1);
+        if let Some(w) = last_wave {
+            let late = out.mean_error_in_wave(&unknowns, w).unwrap();
+            assert!(
+                late > early,
+                "expected error accumulation: wave0 {early:.2} vs wave{w} {late:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_anchors_no_progress() {
+        let out = localize_network(
+            &[],
+            &[Point2::new(1.0, 1.0)],
+            &IterativeConfig::default(),
+            |d| d,
+        );
+        assert_eq!(out.localized_count(), 0);
+        assert_eq!(out.rounds, 0);
+        assert!(out.mean_error(&[Point2::new(1.0, 1.0)]).is_none());
+    }
+}

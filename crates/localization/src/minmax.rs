@@ -1,0 +1,125 @@
+//! Min–max (bounding box) localization.
+
+use crate::{Estimate, EstimateError, Estimator, LocationReference};
+use secloc_geometry::Point2;
+
+/// The min–max bounding-box estimator (Savvides et al., "bits and flops").
+///
+/// Each reference constrains the node to the square of side `2d` centred on
+/// the anchor; the estimate is the centre of the intersection of all such
+/// squares. Cheaper than [`crate::MmseEstimator`] and needs only two
+/// references, at some accuracy cost — a useful baseline for the paper's
+/// end-to-end impact experiments.
+///
+/// When inconsistent (e.g. malicious) references make the intersection
+/// empty, the midpoint between the crossed bounds is still returned and the
+/// inconsistency shows up in [`Estimate::residual_rms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinMaxEstimator;
+
+impl Estimator for MinMaxEstimator {
+    fn estimate(&self, refs: &[LocationReference]) -> Result<Estimate, EstimateError> {
+        if refs.len() < self.min_references() {
+            return Err(EstimateError::TooFewReferences {
+                got: refs.len(),
+                need: self.min_references(),
+            });
+        }
+        let mut lo_x = f64::NEG_INFINITY;
+        let mut lo_y = f64::NEG_INFINITY;
+        let mut hi_x = f64::INFINITY;
+        let mut hi_y = f64::INFINITY;
+        for r in refs {
+            lo_x = lo_x.max(r.anchor().x - r.distance());
+            lo_y = lo_y.max(r.anchor().y - r.distance());
+            hi_x = hi_x.min(r.anchor().x + r.distance());
+            hi_y = hi_y.min(r.anchor().y + r.distance());
+        }
+        let position = Point2::new((lo_x + hi_x) / 2.0, (lo_y + hi_y) / 2.0);
+        Ok(Estimate::at(position, refs))
+    }
+
+    fn min_references(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_refs(truth: Point2, anchors: &[(f64, f64)]) -> Vec<LocationReference> {
+        anchors
+            .iter()
+            .map(|&(x, y)| {
+                let a = Point2::new(x, y);
+                LocationReference::new(a, a.distance(truth))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn symmetric_anchors_give_exact_center() {
+        let truth = Point2::new(50.0, 50.0);
+        let refs = exact_refs(
+            truth,
+            &[(0.0, 50.0), (100.0, 50.0), (50.0, 0.0), (50.0, 100.0)],
+        );
+        let e = MinMaxEstimator.estimate(&refs).unwrap();
+        assert!(e.position.distance(truth) < 1e-9);
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_asymmetric_layout() {
+        let truth = Point2::new(30.0, 70.0);
+        let refs = exact_refs(
+            truth,
+            &[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)],
+        );
+        let e = MinMaxEstimator.estimate(&refs).unwrap();
+        // Min-max is coarse; just require the right neighbourhood.
+        assert!(e.position.distance(truth) < 25.0, "{}", e.position);
+    }
+
+    #[test]
+    fn needs_two_references() {
+        let refs = exact_refs(Point2::ORIGIN, &[(1.0, 1.0)]);
+        assert_eq!(
+            MinMaxEstimator.estimate(&refs),
+            Err(EstimateError::TooFewReferences { got: 1, need: 2 })
+        );
+        assert_eq!(MinMaxEstimator.min_references(), 2);
+    }
+
+    #[test]
+    fn works_with_two_references() {
+        let truth = Point2::new(5.0, 5.0);
+        let refs = exact_refs(truth, &[(0.0, 5.0), (10.0, 5.0)]);
+        let e = MinMaxEstimator.estimate(&refs).unwrap();
+        assert!(e.position.distance(truth) < 5.1);
+    }
+
+    #[test]
+    fn malicious_reference_shifts_box_and_raises_residual() {
+        let truth = Point2::new(50.0, 50.0);
+        let mut refs = exact_refs(truth, &[(0.0, 50.0), (100.0, 50.0), (50.0, 0.0)]);
+        let honest = MinMaxEstimator.estimate(&refs).unwrap();
+        refs.push(LocationReference::new(Point2::new(50.0, 300.0), 50.0));
+        let attacked = MinMaxEstimator.estimate(&refs).unwrap();
+        assert!(attacked.position.distance(truth) > honest.position.distance(truth) + 10.0);
+        assert!(attacked.residual_rms > honest.residual_rms);
+    }
+
+    #[test]
+    fn empty_intersection_still_returns_midpoint() {
+        // Two disjoint constraint boxes.
+        let refs = vec![
+            LocationReference::new(Point2::new(0.0, 0.0), 1.0),
+            LocationReference::new(Point2::new(100.0, 0.0), 1.0),
+        ];
+        let e = MinMaxEstimator.estimate(&refs).unwrap();
+        assert!(e.position.is_finite());
+        assert!((e.position.x - 50.0).abs() < 1e-9);
+        assert!(e.residual_rms > 10.0, "inconsistency must be visible");
+    }
+}

@@ -1,0 +1,101 @@
+//! Location references.
+
+use secloc_geometry::Point2;
+use std::fmt;
+
+/// One location reference: a beacon's declared location together with the
+/// distance measured from its beacon signal.
+///
+/// This is the unit of input to every estimator and the unit of data a
+/// malicious beacon corrupts — either by declaring a false `anchor` or by
+/// manipulating its signal so `distance` is wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationReference {
+    anchor: Point2,
+    distance: f64,
+}
+
+impl LocationReference {
+    /// Creates a reference from a declared beacon location and a measured
+    /// distance in feet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is negative or not finite, or `anchor` is not
+    /// finite.
+    pub fn new(anchor: Point2, distance: f64) -> Self {
+        assert!(anchor.is_finite(), "anchor must be finite, got {anchor}");
+        assert!(
+            distance.is_finite() && distance >= 0.0,
+            "distance must be >= 0, got {distance}"
+        );
+        LocationReference { anchor, distance }
+    }
+
+    /// The beacon location declared in the beacon packet.
+    pub fn anchor(&self) -> Point2 {
+        self.anchor
+    }
+
+    /// The distance measured from the beacon signal, in feet.
+    pub fn distance(&self) -> f64 {
+        self.distance
+    }
+
+    /// The signed residual of this reference at a hypothesised position:
+    /// `|p − anchor| − distance`. Zero when the hypothesis is perfectly
+    /// consistent with the reference.
+    pub fn residual_at(&self, p: Point2) -> f64 {
+        p.distance(self.anchor) - self.distance
+    }
+}
+
+impl fmt::Display for LocationReference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ref{{{} @ {:.2}ft}}", self.anchor, self.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = LocationReference::new(Point2::new(1.0, 2.0), 5.0);
+        assert_eq!(r.anchor(), Point2::new(1.0, 2.0));
+        assert_eq!(r.distance(), 5.0);
+    }
+
+    #[test]
+    fn residual_zero_on_circle() {
+        let r = LocationReference::new(Point2::new(0.0, 0.0), 5.0);
+        assert!(r.residual_at(Point2::new(3.0, 4.0)).abs() < 1e-12);
+        assert!(r.residual_at(Point2::new(6.0, 8.0)) > 0.0); // outside
+        assert!(r.residual_at(Point2::new(1.0, 1.0)) < 0.0); // inside
+    }
+
+    #[test]
+    fn zero_distance_allowed() {
+        let r = LocationReference::new(Point2::new(9.0, 9.0), 0.0);
+        assert_eq!(r.residual_at(Point2::new(9.0, 9.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn negative_distance_rejected() {
+        LocationReference::new(Point2::ORIGIN, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_anchor_rejected() {
+        LocationReference::new(Point2::new(f64::NAN, 0.0), 1.0);
+    }
+
+    #[test]
+    fn display() {
+        let r = LocationReference::new(Point2::new(1.0, 2.0), 3.0);
+        assert_eq!(format!("{r}"), "ref{(1.00, 2.00) @ 3.00ft}");
+    }
+}

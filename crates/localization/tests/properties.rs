@@ -1,0 +1,141 @@
+//! Property-based tests for localization estimators.
+
+use proptest::prelude::*;
+use secloc_geometry::Point2;
+use secloc_localization::{
+    CentroidEstimator, Estimator, LocationReference, MinMaxEstimator, MmseEstimator,
+};
+
+/// Non-degenerate anchor triangles plus a truth point inside a 1000ft field.
+fn scenario() -> impl Strategy<Value = (Point2, Vec<Point2>)> {
+    (
+        (0.0..1000.0f64, 0.0..1000.0f64),
+        proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 3..8),
+    )
+        .prop_map(|(truth, anchors)| {
+            (
+                Point2::new(truth.0, truth.1),
+                anchors
+                    .into_iter()
+                    .map(|(x, y)| Point2::new(x, y))
+                    .collect::<Vec<Point2>>(),
+            )
+        })
+        .prop_filter("anchors must span area", |(_, anchors)| {
+            // Require some triangle with non-trivial area.
+            anchors.iter().enumerate().any(|(i, &a)| {
+                anchors.iter().enumerate().any(|(j, &b)| {
+                    i < j
+                        && anchors
+                            .iter()
+                            .skip(j + 1)
+                            .any(|&c| ((b - a).cross(c - a)).abs() > 1000.0)
+                })
+            })
+        })
+}
+
+fn exact_refs(truth: Point2, anchors: &[Point2]) -> Vec<LocationReference> {
+    anchors
+        .iter()
+        .map(|&a| LocationReference::new(a, a.distance(truth)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mmse_recovers_exact_positions((truth, anchors) in scenario()) {
+        let refs = exact_refs(truth, &anchors);
+        let est = MmseEstimator::default().estimate(&refs).unwrap();
+        prop_assert!(
+            est.position.distance(truth) < 1e-3,
+            "truth {truth}, got {}", est.position
+        );
+        prop_assert!(est.residual_rms < 1e-3);
+    }
+
+    #[test]
+    fn mmse_bounded_error_under_bounded_noise(
+        (truth, anchors) in scenario(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        // The bounded-error claim needs non-degenerate geometry: some
+        // anchor triangle with real area, and the truth interpolated (not
+        // wildly extrapolated). Outside these conditions dilution of
+        // precision can amplify eps arbitrarily — that is physics, not a
+        // bug, and the sim's field clamp handles it there.
+        let good_triangle = anchors.iter().enumerate().any(|(i, &a)| {
+            anchors.iter().enumerate().any(|(j, &b)| {
+                i < j && anchors.iter().skip(j + 1).any(|&c| ((b - a).cross(c - a)).abs() > 40_000.0)
+            })
+        });
+        prop_assume!(good_triangle);
+        let min_x = anchors.iter().map(|a| a.x).fold(f64::INFINITY, f64::min);
+        let max_x = anchors.iter().map(|a| a.x).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = anchors.iter().map(|a| a.y).fold(f64::INFINITY, f64::min);
+        let max_y = anchors.iter().map(|a| a.y).fold(f64::NEG_INFINITY, f64::max);
+        prop_assume!(
+            truth.x >= min_x - 100.0 && truth.x <= max_x + 100.0
+                && truth.y >= min_y - 100.0 && truth.y <= max_y + 100.0
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let eps = 10.0;
+        let refs: Vec<LocationReference> = anchors
+            .iter()
+            .map(|&a| {
+                let noisy = (a.distance(truth) + rng.gen_range(-eps..=eps)).max(0.0);
+                LocationReference::new(a, noisy)
+            })
+            .collect();
+        let est = MmseEstimator::default().estimate(&refs).unwrap();
+        prop_assert!(
+            est.position.distance(truth) < 60.0 * eps,
+            "error {} with {} anchors", est.position.distance(truth), anchors.len()
+        );
+    }
+
+    #[test]
+    fn minmax_contains_truth_for_exact_refs((truth, anchors) in scenario()) {
+        let refs = exact_refs(truth, &anchors);
+        let est = MinMaxEstimator.estimate(&refs).unwrap();
+        // The intersection box contains the truth, so the centre cannot be
+        // farther than half the biggest box diagonal (bounded by min dist).
+        let tightest = refs
+            .iter()
+            .map(|r| r.distance())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(est.position.distance(truth) <= tightest * 2.0_f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn centroid_lies_in_convex_hull_bbox((truth, anchors) in scenario()) {
+        let refs = exact_refs(truth, &anchors);
+        let est = CentroidEstimator::default().estimate(&refs).unwrap();
+        let min_x = anchors.iter().map(|a| a.x).fold(f64::INFINITY, f64::min);
+        let max_x = anchors.iter().map(|a| a.x).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = anchors.iter().map(|a| a.y).fold(f64::INFINITY, f64::min);
+        let max_y = anchors.iter().map(|a| a.y).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est.position.x >= min_x - 1e-9 && est.position.x <= max_x + 1e-9);
+        prop_assert!(est.position.y >= min_y - 1e-9 && est.position.y <= max_y + 1e-9);
+    }
+
+    #[test]
+    fn estimators_agree_on_min_reference_enforcement(n in 0usize..3) {
+        let refs: Vec<LocationReference> = (0..n)
+            .map(|i| LocationReference::new(Point2::new(i as f64 * 13.0, 5.0), 10.0))
+            .collect();
+        let mmse = MmseEstimator::default();
+        if n < mmse.min_references() {
+            prop_assert!(mmse.estimate(&refs).is_err());
+        }
+        if n < MinMaxEstimator.min_references() {
+            prop_assert!(MinMaxEstimator.estimate(&refs).is_err());
+        }
+        if n < CentroidEstimator::default().min_references() {
+            prop_assert!(CentroidEstimator::default().estimate(&refs).is_err());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Deterministic discrete-event scheduler.
+
+use crate::Cycles;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A discrete-event queue ordered by simulated time.
+///
+/// Events scheduled for the same instant are delivered in scheduling order
+/// (FIFO), which keeps simulations fully deterministic for a fixed seed.
+/// Popping never goes backwards in time.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_radio::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles::new(20), "b");
+/// q.schedule(Cycles::new(10), "a");
+/// assert_eq!(q.pop(), Some((Cycles::new(10), "a")));
+/// assert_eq!(q.pop(), Some((Cycles::new(20), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Cycles,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule(&mut self, at: Cycles, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at}, simulation time is already {}",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` at `delay` after the current simulation time.
+    pub fn schedule_after(&mut self, delay: Cycles, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing simulation time to it.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(30), 3);
+        q.schedule(Cycles::new(10), 1);
+        q.schedule(Cycles::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_for_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Cycles::new(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(7), ());
+        q.schedule(Cycles::new(3), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles::new(3));
+        q.pop();
+        assert_eq!(q.now(), Cycles::new(7));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(100), "first");
+        q.pop();
+        q.schedule_after(Cycles::new(50), "second");
+        assert_eq!(q.pop(), Some((Cycles::new(150), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(100), ());
+        q.pop();
+        q.schedule(Cycles::new(99), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        q.schedule(Cycles::new(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(10), 1);
+        q.schedule(Cycles::new(40), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(Cycles::new(20), 2);
+        q.schedule(Cycles::new(30), 3);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Link loss models and reliable delivery.
+//!
+//! §3 of the reproduced paper assumes "every alert from beacon nodes can be
+//! successfully delivered to the base station using some standard fault
+//! tolerant techniques (e.g., retransmission) when there are message
+//! losses", and §3.2 makes the same assumption for revocation messages.
+//! This module supplies the lossy links and the retransmission wrapper
+//! that discharges those assumptions.
+
+use rand::Rng;
+
+/// A packet-loss process on one link.
+pub trait LossModel {
+    /// Draws whether the next packet is lost.
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool;
+
+    /// The long-run loss rate of the process.
+    fn long_run_loss_rate(&self) -> f64;
+}
+
+/// Independent (Bernoulli) packet loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliLoss {
+    rate: f64,
+}
+
+impl BernoulliLoss {
+    /// Creates a model losing each packet independently with `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` lies in `[0, 1]`.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate must be in [0,1], got {rate}"
+        );
+        BernoulliLoss { rate }
+    }
+}
+
+impl LossModel for BernoulliLoss {
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.rate > 0.0 && rng.gen_bool(self.rate)
+    }
+
+    fn long_run_loss_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Bursty loss: the two-state Gilbert–Elliott channel.
+///
+/// In the *good* state packets are lost with `good_loss`; in the *bad*
+/// state with `bad_loss`. Transitions happen per packet with rates
+/// `p_good_to_bad` and `p_bad_to_good`. Radio links in the field lose
+/// packets in bursts (fading, interference), which stresses retransmission
+/// schemes much harder than independent loss at the same average rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliottLoss {
+    /// Loss probability in the good state.
+    pub good_loss: f64,
+    /// Loss probability in the bad state.
+    pub bad_loss: f64,
+    /// Per-packet transition probability good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-packet transition probability bad → good.
+    pub p_bad_to_good: f64,
+    in_bad_state: bool,
+}
+
+impl GilbertElliottLoss {
+    /// Creates a bursty channel starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all four probabilities lie in `[0, 1]` and at least
+    /// one transition probability is positive.
+    pub fn new(good_loss: f64, bad_loss: f64, p_good_to_bad: f64, p_bad_to_good: f64) -> Self {
+        for (name, v) in [
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        }
+        assert!(
+            p_good_to_bad + p_bad_to_good > 0.0,
+            "transition probabilities cannot both be zero"
+        );
+        GilbertElliottLoss {
+            good_loss,
+            bad_loss,
+            p_good_to_bad,
+            p_bad_to_good,
+            in_bad_state: false,
+        }
+    }
+
+    /// Stationary probability of being in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+    }
+}
+
+impl LossModel for GilbertElliottLoss {
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        // Transition first, then draw loss in the new state.
+        let flip = if self.in_bad_state {
+            rng.gen_bool(self.p_bad_to_good)
+        } else {
+            rng.gen_bool(self.p_good_to_bad)
+        };
+        if flip {
+            self.in_bad_state = !self.in_bad_state;
+        }
+        let p = if self.in_bad_state {
+            self.bad_loss
+        } else {
+            self.good_loss
+        };
+        p > 0.0 && rng.gen_bool(p)
+    }
+
+    fn long_run_loss_rate(&self) -> f64 {
+        let pb = self.stationary_bad();
+        pb * self.bad_loss + (1.0 - pb) * self.good_loss
+    }
+}
+
+/// Result of a reliable (retransmitting) send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableSend {
+    /// Whether any copy got through within the budget.
+    pub delivered: bool,
+    /// Transmissions used (1 = no retransmission needed).
+    pub transmissions: u32,
+}
+
+/// Sends through `loss` with up to `max_transmissions` tries — the
+/// "standard fault tolerant technique" the paper assumes for alert and
+/// revocation delivery.
+///
+/// # Panics
+///
+/// Panics if `max_transmissions == 0`.
+pub fn send_reliable<L: LossModel, R: Rng + ?Sized>(
+    loss: &mut L,
+    max_transmissions: u32,
+    rng: &mut R,
+) -> ReliableSend {
+    assert!(max_transmissions > 0, "need at least one transmission");
+    for attempt in 1..=max_transmissions {
+        if !loss.is_lost(rng) {
+            return ReliableSend {
+                delivered: true,
+                transmissions: attempt,
+            };
+        }
+    }
+    ReliableSend {
+        delivered: false,
+        transmissions: max_transmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_rate_is_respected() {
+        let mut loss = BernoulliLoss::new(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let lost = (0..10_000).filter(|_| loss.is_lost(&mut rng)).count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "got {rate}");
+        assert_eq!(loss.long_run_loss_rate(), 0.3);
+    }
+
+    #[test]
+    fn lossless_and_total_loss() {
+        let mut none = BernoulliLoss::new(0.0);
+        let mut all = BernoulliLoss::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| none.is_lost(&mut rng)));
+        assert!((0..100).all(|_| all.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let mut ge = GilbertElliottLoss::new(0.01, 0.6, 0.05, 0.20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let lost = (0..200_000).filter(|_| ge.is_lost(&mut rng)).count();
+        let measured = lost as f64 / 200_000.0;
+        let expected = ge.long_run_loss_rate(); // 0.2*0.6 + 0.8*0.01 = 0.128
+        assert!((expected - 0.128).abs() < 1e-9);
+        assert!((measured - expected).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Loss events cluster: the conditional loss rate right after a loss
+        // is much higher than the unconditional one.
+        let mut ge = GilbertElliottLoss::new(0.01, 0.8, 0.02, 0.10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq: Vec<bool> = (0..200_000).map(|_| ge.is_lost(&mut rng)).collect();
+        let uncond = seq.iter().filter(|&&l| l).count() as f64 / seq.len() as f64;
+        let after_loss: Vec<bool> = seq.windows(2).filter(|w| w[0]).map(|w| w[1]).collect();
+        let cond = after_loss.iter().filter(|&&l| l).count() as f64 / after_loss.len() as f64;
+        assert!(
+            cond > uncond * 2.0,
+            "not bursty: P(loss|loss)={cond:.3} vs P(loss)={uncond:.3}"
+        );
+    }
+
+    #[test]
+    fn retransmission_discharges_the_paper_assumption() {
+        // 20% loss, 8 tries: delivery probability 1 - 0.2^8 > 0.9999997.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut failures = 0;
+        for _ in 0..20_000 {
+            let mut loss = BernoulliLoss::new(0.2);
+            if !send_reliable(&mut loss, 8, &mut rng).delivered {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0, "retransmission failed {failures} times");
+    }
+
+    #[test]
+    fn retransmission_counts_attempts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut loss = BernoulliLoss::new(0.5);
+        let sends: Vec<ReliableSend> = (0..2000)
+            .map(|_| send_reliable(&mut loss, 10, &mut rng))
+            .collect();
+        let mean_tx: f64 =
+            sends.iter().map(|s| s.transmissions as f64).sum::<f64>() / sends.len() as f64;
+        // Geometric mean ~ 1/(1-0.5) = 2.
+        assert!((mean_tx - 2.0).abs() < 0.2, "mean transmissions {mean_tx}");
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut loss = BernoulliLoss::new(1.0);
+        let s = send_reliable(&mut loss, 3, &mut rng);
+        assert!(!s.delivered);
+        assert_eq!(s.transmissions, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn bad_rate_rejected() {
+        BernoulliLoss::new(1.2);
+    }
+}

@@ -1,0 +1,251 @@
+//! A slotted CSMA medium-access model with collisions.
+//!
+//! §2.3 of the reproduced paper leans on MAC-layer physics twice: the RTT
+//! trick cancels "the uncertainty introduced by the MAC layer protocol",
+//! and the local-replay argument assumes that during a transmission a
+//! neighbour "either receives the original signal or receives nothing (in
+//! case of collision)". This module provides that substrate: a slotted
+//! CSMA/CA channel where overlapping transmissions in one collision domain
+//! destroy each other and senders retry with binary exponential backoff.
+
+use crate::Cycles;
+use rand::Rng;
+
+/// Outcome of one transmission attempt sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacOutcome {
+    /// Delivered after `attempts` tries; `delay` covers backoff plus the
+    /// final transmission.
+    Delivered {
+        /// Number of attempts used (1 = first try).
+        attempts: u32,
+        /// Total MAC-layer delay.
+        delay: Cycles,
+    },
+    /// Dropped after exhausting the retry budget.
+    Dropped {
+        /// Attempts used (equals the configured maximum).
+        attempts: u32,
+    },
+}
+
+impl MacOutcome {
+    /// Whether the frame got through.
+    pub fn delivered(self) -> bool {
+        matches!(self, MacOutcome::Delivered { .. })
+    }
+}
+
+/// A slotted CSMA/CA channel model.
+///
+/// Collisions are modelled probabilistically: with `n` contenders in the
+/// same domain each picking one of `cw` slots, a given sender's slot is
+/// clear with probability `((cw − 1)/cw)^(n−1)`. Each retry doubles the
+/// contention window up to a cap (binary exponential backoff).
+///
+/// # Examples
+///
+/// ```
+/// use secloc_radio::mac::CsmaChannel;
+/// use secloc_radio::Cycles;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mac = CsmaChannel::default();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let outcome = mac.transmit(Cycles::from_bytes(45), 5, &mut rng);
+/// assert!(outcome.delivered()); // 5 contenders: near-certain delivery
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsmaChannel {
+    /// Initial contention window, in slots.
+    pub initial_cw: u32,
+    /// Maximum contention window.
+    pub max_cw: u32,
+    /// Slot length.
+    pub slot: Cycles,
+    /// Maximum transmission attempts before dropping.
+    pub max_attempts: u32,
+}
+
+impl Default for CsmaChannel {
+    /// TinyOS-flavoured defaults: CW 16..256 slots of one byte-time,
+    /// 8 attempts.
+    fn default() -> Self {
+        CsmaChannel {
+            initial_cw: 16,
+            max_cw: 256,
+            slot: Cycles::from_bytes(1),
+            max_attempts: 8,
+        }
+    }
+}
+
+impl CsmaChannel {
+    /// Probability one attempt survives with `contenders` other active
+    /// senders in the domain and contention window `cw`.
+    fn clear_probability(&self, contenders: u32, cw: u32) -> f64 {
+        if contenders == 0 {
+            return 1.0;
+        }
+        ((cw as f64 - 1.0) / cw as f64).powi(contenders as i32)
+    }
+
+    /// Attempts to transmit a frame of duration `tx_time` against
+    /// `contenders` other senders. Returns the delivery outcome with the
+    /// accumulated MAC delay.
+    pub fn transmit<R: Rng + ?Sized>(
+        &self,
+        tx_time: Cycles,
+        contenders: u32,
+        rng: &mut R,
+    ) -> MacOutcome {
+        let mut cw = self.initial_cw.max(2);
+        let mut delay = Cycles::ZERO;
+        for attempt in 1..=self.max_attempts {
+            // Random backoff inside the window.
+            let slots = rng.gen_range(0..cw) as u64;
+            delay += Cycles::new(self.slot.as_u64() * slots);
+            let p = self.clear_probability(contenders, cw);
+            if rng.gen_bool(p) {
+                return MacOutcome::Delivered {
+                    attempts: attempt,
+                    delay: delay + tx_time,
+                };
+            }
+            // Collision: the whole frame time is wasted, window doubles.
+            delay += tx_time;
+            cw = (cw * 2).min(self.max_cw);
+        }
+        MacOutcome::Dropped {
+            attempts: self.max_attempts,
+        }
+    }
+
+    /// Expected delivery probability within the retry budget (closed
+    /// form, window doubling included) — used by tests and the overhead
+    /// analysis.
+    pub fn delivery_probability(&self, contenders: u32) -> f64 {
+        let mut fail = 1.0f64;
+        let mut cw = self.initial_cw.max(2);
+        for _ in 0..self.max_attempts {
+            fail *= 1.0 - self.clear_probability(contenders, cw);
+            cw = (cw * 2).min(self.max_cw);
+        }
+        1.0 - fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solo_sender_always_delivers_first_try() {
+        let mac = CsmaChannel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            match mac.transmit(Cycles::from_bytes(45), 0, &mut rng) {
+                MacOutcome::Delivered { attempts, delay } => {
+                    assert_eq!(attempts, 1);
+                    assert!(delay >= Cycles::from_bytes(45));
+                }
+                other => panic!("solo sender dropped: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_delivery_matches_closed_form() {
+        let mac = CsmaChannel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for contenders in [1u32, 5, 20] {
+            let trials = 4000;
+            let delivered = (0..trials)
+                .filter(|_| {
+                    mac.transmit(Cycles::from_bytes(45), contenders, &mut rng)
+                        .delivered()
+                })
+                .count();
+            let measured = delivered as f64 / trials as f64;
+            let expected = mac.delivery_probability(contenders);
+            assert!(
+                (measured - expected).abs() < 0.03,
+                "contenders={contenders}: measured {measured}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_degrades_delivery_and_raises_delay() {
+        let mac = CsmaChannel {
+            max_attempts: 3,
+            ..CsmaChannel::default()
+        };
+        assert!(mac.delivery_probability(2) > mac.delivery_probability(50));
+        assert!(mac.delivery_probability(50) > mac.delivery_probability(500));
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean_delay = |contenders: u32, rng: &mut StdRng| -> f64 {
+            let mut total = 0u64;
+            let mut n = 0u64;
+            for _ in 0..2000 {
+                if let MacOutcome::Delivered { delay, .. } =
+                    CsmaChannel::default().transmit(Cycles::from_bytes(45), contenders, rng)
+                {
+                    total += delay.as_u64();
+                    n += 1;
+                }
+            }
+            total as f64 / n as f64
+        };
+        let quiet = mean_delay(0, &mut rng);
+        let busy = mean_delay(30, &mut rng);
+        assert!(
+            busy > quiet,
+            "congested channel should be slower: {quiet} vs {busy}"
+        );
+    }
+
+    #[test]
+    fn heavy_congestion_eventually_drops() {
+        let mac = CsmaChannel {
+            max_attempts: 2,
+            initial_cw: 2,
+            max_cw: 2,
+            ..CsmaChannel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let dropped = (0..2000)
+            .filter(|_| {
+                !mac.transmit(Cycles::from_bytes(45), 100, &mut rng)
+                    .delivered()
+            })
+            .count();
+        assert!(
+            dropped > 1500,
+            "only {dropped}/2000 dropped under extreme load"
+        );
+    }
+
+    #[test]
+    fn delivery_probability_bounds() {
+        let mac = CsmaChannel::default();
+        assert_eq!(mac.delivery_probability(0), 1.0);
+        for c in [1u32, 10, 100] {
+            let p = mac.delivery_probability(c);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(MacOutcome::Delivered {
+            attempts: 1,
+            delay: Cycles::ZERO
+        }
+        .delivered());
+        assert!(!MacOutcome::Dropped { attempts: 8 }.delivered());
+    }
+}

@@ -1,0 +1,192 @@
+//! Cycle-count time base.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// CPU clock frequency of the modelled mote (ATmega128L on a MICA2),
+/// in hertz.
+pub const CPU_HZ: f64 = 7_372_800.0;
+
+/// Radio transmission time of one bit, in CPU cycles.
+///
+/// Stated verbatim in the paper: "the transmission time of one bit is about
+/// 384 clock cycles" (19.2 kbit/s on a 7.3728 MHz CPU).
+pub const CYCLES_PER_BIT: u64 = 384;
+
+/// Speed of light in feet per second (RF propagation).
+pub const SPEED_OF_LIGHT_FT_S: f64 = 983_571_056.43;
+
+/// A point in (or duration of) simulated time, counted in CPU clock cycles.
+///
+/// The paper's RTT measurements, replay-detection thresholds and packet
+/// timings are all expressed in cycles, so the whole simulation shares this
+/// time base.
+///
+/// # Examples
+///
+/// ```
+/// use secloc_radio::{Cycles, CYCLES_PER_BIT};
+///
+/// let t = Cycles::from_bits(4.5);
+/// assert_eq!(t.as_u64(), (4.5 * CYCLES_PER_BIT as f64) as u64);
+/// assert!(Cycles::new(100) + Cycles::new(20) > Cycles::new(110));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles — the simulation epoch.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// The duration of `bits` bit-times (rounded down to whole cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is negative or not finite.
+    pub fn from_bits(bits: f64) -> Self {
+        assert!(
+            bits.is_finite() && bits >= 0.0,
+            "bit count must be >= 0, got {bits}"
+        );
+        Cycles((bits * CYCLES_PER_BIT as f64) as u64)
+    }
+
+    /// The transmission duration of `bytes` whole bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Cycles(bytes * 8 * CYCLES_PER_BIT)
+    }
+
+    /// The (fractional) propagation delay over `distance_ft` feet.
+    ///
+    /// Light covers about 133 ft per CPU cycle, so a 150 ft hop costs
+    /// ~1.1 cycles — three orders of magnitude below the 384-cycle bit
+    /// time, which is exactly why the paper can treat `D/c` as negligible.
+    /// Returned in fractional cycles so analyses can verify that claim
+    /// rather than assume it.
+    pub fn propagation_fractional(distance_ft: f64) -> f64 {
+        distance_ft / SPEED_OF_LIGHT_FT_S * CPU_HZ
+    }
+
+    /// Raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in bit-times.
+    pub fn as_bits(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_BIT as f64
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / CPU_HZ
+    }
+
+    /// Saturating subtraction (durations never go negative).
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
+        self.0.checked_sub(rhs.0).map(Cycles)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.checked_add(rhs.0).expect("cycle counter overflow"))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`Cycles::saturating_sub`] when the operands
+    /// may be unordered.
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.checked_sub(rhs.0).expect("cycle counter underflow"))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_and_byte_durations() {
+        assert_eq!(Cycles::from_bits(1.0), Cycles::new(384));
+        assert_eq!(Cycles::from_bits(4.5), Cycles::new(1728));
+        assert_eq!(Cycles::from_bytes(1), Cycles::new(3072));
+        assert_eq!(Cycles::from_bytes(36), Cycles::new(36 * 3072));
+    }
+
+    #[test]
+    fn as_bits_roundtrip() {
+        assert_eq!(Cycles::new(1728).as_bits(), 4.5);
+        assert_eq!(Cycles::new(384).as_bits(), 1.0);
+    }
+
+    #[test]
+    fn propagation_is_subcycle_at_network_scale() {
+        // The paper's negligibility claim for D/c: ~1 cycle at full radio
+        // range, vastly below one bit time (384 cycles).
+        let p = Cycles::propagation_fractional(150.0);
+        assert!(p < 2.0, "got {p}");
+        assert!(p > 0.0);
+        assert!(p < CYCLES_PER_BIT as f64 / 100.0);
+        // ... and grows linearly.
+        let p2 = Cycles::propagation_fractional(300.0);
+        assert!((p2 / p - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(30);
+        assert_eq!(a + b, Cycles::new(130));
+        assert_eq!(a - b, Cycles::new(70));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(Cycles::new(70)));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(130));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Cycles::new(1) - Cycles::new(2);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        // 7_372_800 cycles is exactly one second.
+        assert!((Cycles::new(7_372_800).as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Cycles::new(42)), "42cy");
+    }
+}

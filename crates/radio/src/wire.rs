@@ -1,0 +1,357 @@
+//! Byte-level wire format for frames.
+//!
+//! [`crate::Frame`] is a typed in-memory object; a real radio moves bytes.
+//! This module defines the on-air layout and a strict parser, so the
+//! library can interoperate with byte-oriented transports (serial captures,
+//! pcap-style traces, fuzzers):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic 0x5E 0xC1
+//! 2       1     version (currently 1)
+//! 3       4     source node id (LE)
+//! 7       4     destination node id (LE)
+//! 11      2     body length (LE)
+//! 13      n     body (tagged encoding, same bytes the MAC covers)
+//! 13+n    8     MAC tag (LE)
+//! ```
+//!
+//! The parser is strict — trailing bytes, bad magic, unknown versions,
+//! unknown body tags and length mismatches are all errors — because a
+//! permissive parser in a security protocol is an attack surface.
+
+use crate::frame::{BeaconPayload, Frame, FrameBody, RequestPayload};
+use crate::Cycles;
+use secloc_crypto::{Mac, NodeId};
+use secloc_geometry::Point2;
+use std::fmt;
+
+/// Frame wire-format magic bytes.
+pub const MAGIC: [u8; 2] = [0x5e, 0xc1];
+
+/// Current wire-format version.
+pub const VERSION: u8 = 1;
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header needs.
+    Truncated,
+    /// Magic bytes missing.
+    BadMagic,
+    /// Unknown format version.
+    UnsupportedVersion(u8),
+    /// Body length field disagrees with the buffer.
+    LengthMismatch,
+    /// Unknown body tag byte.
+    UnknownBodyTag(u8),
+    /// Body bytes malformed for their tag.
+    MalformedBody,
+    /// Bytes left over after the MAC tag.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer shorter than frame header"),
+            WireError::BadMagic => write!(f, "bad magic bytes"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::LengthMismatch => write!(f, "body length disagrees with buffer"),
+            WireError::UnknownBodyTag(t) => write!(f, "unknown body tag {t:#04x}"),
+            WireError::MalformedBody => write!(f, "malformed body"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialises a frame to its on-air bytes.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let body = encode_body(&frame.peek_body());
+    let mut out = Vec::with_capacity(13 + body.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&frame.src().0.to_le_bytes());
+    out.extend_from_slice(&frame.dst().0.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u16).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&frame.mac_bits().to_le_bytes());
+    out
+}
+
+/// Parses on-air bytes back into a frame.
+///
+/// Parsing performs **no authentication** — call [`Frame::open`] on the
+/// result; a parsed-but-tampered frame fails there.
+///
+/// # Errors
+///
+/// Any structural defect yields a [`WireError`]; see the variants.
+pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+    if bytes.len() < 13 + 8 {
+        return Err(WireError::Truncated);
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[2] != VERSION {
+        return Err(WireError::UnsupportedVersion(bytes[2]));
+    }
+    let src = NodeId(u32::from_le_bytes(bytes[3..7].try_into().expect("4 bytes")));
+    let dst = NodeId(u32::from_le_bytes(bytes[7..11].try_into().expect("4 bytes")));
+    let body_len = u16::from_le_bytes(bytes[11..13].try_into().expect("2 bytes")) as usize;
+    let expected_total = 13 + body_len + 8;
+    if bytes.len() < expected_total {
+        return Err(WireError::LengthMismatch);
+    }
+    if bytes.len() > expected_total {
+        return Err(WireError::TrailingBytes);
+    }
+    let body = decode_body(&bytes[13..13 + body_len])?;
+    let tag = u64::from_le_bytes(
+        bytes[13 + body_len..expected_total]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    Ok(Frame::from_wire_parts(src, dst, body, Mac::from_bits(tag)))
+}
+
+fn encode_body(body: &FrameBody) -> Vec<u8> {
+    // Mirrors FrameBody::encode (the MAC input); kept in lockstep by the
+    // roundtrip tests below.
+    let mut out = Vec::with_capacity(24);
+    match body {
+        FrameBody::Request(r) => {
+            out.push(0x01);
+            out.extend_from_slice(&r.requester.0.to_le_bytes());
+        }
+        FrameBody::Beacon(b) => {
+            out.push(0x02);
+            out.extend_from_slice(&b.beacon.0.to_le_bytes());
+            out.extend_from_slice(&b.declared.x.to_le_bytes());
+            out.extend_from_slice(&b.declared.y.to_le_bytes());
+        }
+        FrameBody::Alert { reporter, target } => {
+            out.push(0x03);
+            out.extend_from_slice(&reporter.0.to_le_bytes());
+            out.extend_from_slice(&target.0.to_le_bytes());
+        }
+        FrameBody::TimestampReport { turnaround } => {
+            out.push(0x04);
+            out.extend_from_slice(&turnaround.as_u64().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_body(bytes: &[u8]) -> Result<FrameBody, WireError> {
+    let (&tag, rest) = bytes.split_first().ok_or(WireError::MalformedBody)?;
+    let u32_at = |b: &[u8], at: usize| -> Result<u32, WireError> {
+        b.get(at..at + 4)
+            .and_then(|s| s.try_into().ok())
+            .map(u32::from_le_bytes)
+            .ok_or(WireError::MalformedBody)
+    };
+    let f64_at = |b: &[u8], at: usize| -> Result<f64, WireError> {
+        b.get(at..at + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(f64::from_le_bytes)
+            .ok_or(WireError::MalformedBody)
+    };
+    match tag {
+        0x01 => {
+            if rest.len() != 4 {
+                return Err(WireError::MalformedBody);
+            }
+            Ok(FrameBody::Request(RequestPayload {
+                requester: NodeId(u32_at(rest, 0)?),
+            }))
+        }
+        0x02 => {
+            if rest.len() != 20 {
+                return Err(WireError::MalformedBody);
+            }
+            Ok(FrameBody::Beacon(BeaconPayload {
+                beacon: NodeId(u32_at(rest, 0)?),
+                declared: Point2::new(f64_at(rest, 4)?, f64_at(rest, 12)?),
+            }))
+        }
+        0x03 => {
+            if rest.len() != 8 {
+                return Err(WireError::MalformedBody);
+            }
+            Ok(FrameBody::Alert {
+                reporter: NodeId(u32_at(rest, 0)?),
+                target: NodeId(u32_at(rest, 4)?),
+            })
+        }
+        0x04 => {
+            if rest.len() != 8 {
+                return Err(WireError::MalformedBody);
+            }
+            let v = u64::from_le_bytes(rest.try_into().expect("8 bytes"));
+            Ok(FrameBody::TimestampReport {
+                turnaround: Cycles::new(v),
+            })
+        }
+        other => Err(WireError::UnknownBodyTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secloc_crypto::Key;
+
+    fn sample_frames() -> Vec<Frame> {
+        let k = Key::from_u128(0x77);
+        vec![
+            Frame::seal(
+                NodeId(1),
+                NodeId(2),
+                FrameBody::Request(RequestPayload {
+                    requester: NodeId(1),
+                }),
+                &k,
+            ),
+            Frame::seal(
+                NodeId(3),
+                NodeId(4),
+                FrameBody::Beacon(BeaconPayload {
+                    beacon: NodeId(3),
+                    declared: Point2::new(-12.5, 987.25),
+                }),
+                &k,
+            ),
+            Frame::seal(
+                NodeId(5),
+                NodeId(6),
+                FrameBody::Alert {
+                    reporter: NodeId(5),
+                    target: NodeId(9),
+                },
+                &k,
+            ),
+            Frame::seal(
+                NodeId(7),
+                NodeId(8),
+                FrameBody::TimestampReport {
+                    turnaround: Cycles::new(123_456_789),
+                },
+                &k,
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_body_types() {
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            let parsed = decode(&bytes).expect("roundtrip");
+            assert_eq!(parsed, frame);
+        }
+    }
+
+    #[test]
+    fn parsed_frames_still_authenticate() {
+        let k = Key::from_u128(0x77);
+        for frame in sample_frames() {
+            let parsed = decode(&encode(&frame)).unwrap();
+            assert!(parsed.open(frame.dst(), &k).is_ok());
+        }
+    }
+
+    #[test]
+    fn tampered_bytes_parse_but_fail_auth() {
+        // Flipping a payload bit survives parsing (structure intact) but
+        // dies at MAC verification — the layering the design intends.
+        let k = Key::from_u128(0x77);
+        let frame = &sample_frames()[1];
+        let mut bytes = encode(frame);
+        bytes[14] ^= 0x01; // inside the body
+        let parsed = decode(&bytes).expect("structurally fine");
+        assert!(parsed.open(frame.dst(), &k).is_err());
+    }
+
+    #[test]
+    fn structural_defects_rejected() {
+        let frame = &sample_frames()[0];
+        let good = encode(frame);
+
+        assert_eq!(decode(&good[..5]), Err(WireError::Truncated));
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = 0x00;
+        assert_eq!(decode(&bad_magic), Err(WireError::BadMagic));
+
+        let mut bad_version = good.clone();
+        bad_version[2] = 9;
+        assert_eq!(decode(&bad_version), Err(WireError::UnsupportedVersion(9)));
+
+        let mut trailing = good.clone();
+        trailing.push(0xff);
+        assert_eq!(decode(&trailing), Err(WireError::TrailingBytes));
+
+        let mut short = good.clone();
+        short.truncate(good.len() - 1);
+        assert_eq!(decode(&short), Err(WireError::LengthMismatch));
+
+        let mut bad_tag = good.clone();
+        bad_tag[13] = 0x7f;
+        assert_eq!(decode(&bad_tag), Err(WireError::UnknownBodyTag(0x7f)));
+    }
+
+    #[test]
+    fn wrong_body_length_for_tag_rejected() {
+        // Claim a beacon body (tag 0x02) but supply request-sized bytes.
+        let frame = &sample_frames()[0]; // request, body = 5 bytes
+        let mut bytes = encode(frame);
+        bytes[13] = 0x02; // relabel tag
+        assert_eq!(decode(&bytes), Err(WireError::MalformedBody));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            WireError::Truncated,
+            WireError::BadMagic,
+            WireError::UnsupportedVersion(3),
+            WireError::LengthMismatch,
+            WireError::UnknownBodyTag(0xaa),
+            WireError::MalformedBody,
+            WireError::TrailingBytes,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    /// Exhaustive single-byte corruption: every possible one-byte flip
+    /// either fails to parse or fails to authenticate — no corruption is
+    /// silently accepted.
+    #[test]
+    fn no_single_byte_corruption_accepted() {
+        let k = Key::from_u128(0x77);
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            for i in 0..bytes.len() {
+                for flip in [0x01u8, 0x80] {
+                    let mut corrupted = bytes.clone();
+                    corrupted[i] ^= flip;
+                    match decode(&corrupted) {
+                        Err(_) => {} // structurally rejected
+                        Ok(parsed) => {
+                            // Header corruption may change src/dst; open
+                            // must fail either by destination or MAC.
+                            assert!(
+                                parsed.open(frame.dst(), &k).is_err(),
+                                "byte {i} flip {flip:#x} silently accepted"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulation configuration.
+
+use secloc_geometry::Point2;
+
+/// All parameters of one simulated deployment.
+///
+/// Defaults come from [`SimConfig::paper_default`]; every figure-bench
+/// overrides just the swept parameter. The struct is plain data (public
+/// fields) because experiments are configuration in the C-struct spirit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Total sensor nodes `N` (beacons included).
+    pub nodes: u32,
+    /// Beacon nodes `N_b`.
+    pub beacons: u32,
+    /// Compromised beacon nodes `N_a` (a subset of the beacons).
+    pub malicious: u32,
+    /// Side of the square sensing field, in feet.
+    pub field_side_ft: f64,
+    /// Maximum radio communication range, in feet.
+    pub range_ft: f64,
+    /// Maximum distance-measurement error ε, in feet.
+    pub max_ranging_error_ft: f64,
+    /// Detecting IDs per beacon node (the paper's `m`).
+    pub detecting_ids: u32,
+    /// Base-station report cap τ.
+    pub tau: u32,
+    /// Base-station revocation threshold τ′.
+    pub tau_prime: u32,
+    /// Wormhole tap points, or `None` to disable the wormhole.
+    pub wormhole: Option<(Point2, Point2)>,
+    /// Wormhole-detector detection rate `p_d`.
+    pub wormhole_detection_rate: f64,
+    /// The attacker's acceptance probability `P` (see
+    /// [`secloc_attack::BeaconStrategy::with_acceptance`]).
+    pub attacker_p: f64,
+    /// Magnitude of the location lie told in malicious signals, in feet.
+    /// Must exceed the radio range for the fake-wormhole evasion to be
+    /// coherent; the paper's attacker lies big (Fig. 1 shows lies across
+    /// the field).
+    pub lie_offset_ft: f64,
+    /// Whether malicious beacons collude to spam alerts against benign
+    /// beacons (§4 enables this).
+    pub collusion: bool,
+    /// Per-transmission loss rate on the multi-hop alert path to the base
+    /// station. The paper assumes losses exist but are handled by
+    /// "standard fault tolerant techniques (e.g., retransmission)".
+    pub alert_loss_rate: f64,
+    /// Retransmission budget per alert (1 = no retransmission).
+    pub alert_retransmissions: u32,
+}
+
+impl SimConfig {
+    /// The reconstructed §4 configuration (see `DESIGN.md` for the
+    /// OCR-recovery of each constant).
+    pub fn paper_default() -> Self {
+        SimConfig {
+            nodes: 1000,
+            beacons: 100,
+            malicious: 10,
+            field_side_ft: 1000.0,
+            range_ft: 150.0,
+            max_ranging_error_ft: 10.0,
+            detecting_ids: 8,
+            tau: 2,
+            tau_prime: 2,
+            wormhole: Some((Point2::new(100.0, 100.0), Point2::new(800.0, 700.0))),
+            wormhole_detection_rate: 0.9,
+            attacker_p: 0.1,
+            lie_offset_ft: 300.0,
+            collusion: true,
+            alert_loss_rate: 0.1,
+            alert_retransmissions: 8,
+        }
+    }
+
+    /// Non-beacon sensor count `N − N_b`.
+    pub fn non_beacons(&self) -> u32 {
+        self.nodes - self.beacons
+    }
+
+    /// Benign beacon count `N_b − N_a`.
+    pub fn benign_beacons(&self) -> u32 {
+        self.beacons - self.malicious
+    }
+
+    /// Validates parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when counts are inconsistent, probabilities leave `[0, 1]`,
+    /// or the lie offset cannot support the fake-wormhole evasion.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "empty network");
+        assert!(
+            self.malicious <= self.beacons && self.beacons <= self.nodes,
+            "need malicious <= beacons <= nodes, got {}/{}/{}",
+            self.malicious,
+            self.beacons,
+            self.nodes
+        );
+        assert!(
+            self.field_side_ft > 0.0 && self.range_ft > 0.0,
+            "field and range must be positive"
+        );
+        assert!(
+            self.max_ranging_error_ft >= 0.0,
+            "ranging error must be >= 0"
+        );
+        for (name, v) in [
+            ("wormhole_detection_rate", self.wormhole_detection_rate),
+            ("attacker_p", self.attacker_p),
+            ("alert_loss_rate", self.alert_loss_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        }
+        assert!(
+            self.alert_retransmissions >= 1,
+            "alerts need at least one transmission attempt"
+        );
+        assert!(
+            self.lie_offset_ft > self.range_ft,
+            "lie offset ({}) must exceed radio range ({}) so the declared \
+             location is plausibly wormhole-distant",
+            self.lie_offset_ft,
+            self.range_ft
+        );
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid_and_matches_reconstruction() {
+        let c = SimConfig::paper_default();
+        c.validate();
+        assert_eq!(c.nodes, 1000);
+        assert_eq!(c.beacons, 100);
+        assert_eq!(c.malicious, 10);
+        assert_eq!(c.non_beacons(), 900);
+        assert_eq!(c.benign_beacons(), 90);
+        assert_eq!(c.wormhole.unwrap().0, Point2::new(100.0, 100.0));
+        assert_eq!(c.wormhole.unwrap().1, Point2::new(800.0, 700.0));
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(SimConfig::default(), SimConfig::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "malicious <= beacons")]
+    fn rejects_more_malicious_than_beacons() {
+        let mut c = SimConfig::paper_default();
+        c.malicious = c.beacons + 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lie offset")]
+    fn rejects_small_lie() {
+        let mut c = SimConfig::paper_default();
+        c.lie_offset_ft = 50.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn rejects_bad_probability() {
+        let mut c = SimConfig::paper_default();
+        c.attacker_p = 2.0;
+        c.validate();
+    }
+}

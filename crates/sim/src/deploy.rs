@@ -1,0 +1,271 @@
+//! Deployment: positions, roles and adversary placement.
+
+use crate::SimConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use secloc_attack::{BeaconStrategy, CompromisedBeacon, Wormhole};
+use secloc_crypto::{prf, IdSpace, NodeId};
+use secloc_geometry::{deploy, Field, GridIndex, Point2, Vector2};
+use secloc_radio::Cycles;
+
+/// What a deployed node is (omniscient view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An honest beacon node.
+    BenignBeacon,
+    /// A compromised beacon node.
+    MaliciousBeacon,
+    /// A regular (non-beacon) sensor node.
+    Sensor,
+}
+
+/// One instantiated network: who is where, who is compromised, and the
+/// spatial index answering radio-range queries.
+///
+/// Node indexing convention (matching [`IdSpace`]): beacons occupy indices
+/// `0..beacons`, sensors `beacons..nodes`. Malicious beacons are a random
+/// subset of the beacon indices.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    config: SimConfig,
+    ids: IdSpace,
+    index: GridIndex,
+    kinds: Vec<NodeKind>,
+    compromised: Vec<Option<CompromisedBeacon>>,
+    wormhole: Option<Wormhole>,
+    seed: u64,
+}
+
+impl Deployment {
+    /// Deploys a network per `config`, fully determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`SimConfig::validate`].
+    pub fn generate(config: SimConfig, seed: u64) -> Self {
+        config.validate();
+        let field = Field::square(config.field_side_ft);
+        let mut rng = StdRng::seed_from_u64(subseed(seed, b"deploy"));
+        let positions = deploy::uniform_with(&field, config.nodes as usize, &mut rng);
+        let index = GridIndex::build(&field, config.range_ft, positions.iter().copied());
+
+        // Pick the compromised subset of beacons.
+        let mut beacon_indices: Vec<u32> = (0..config.beacons).collect();
+        beacon_indices.shuffle(&mut rng);
+        let malicious_set: Vec<u32> = beacon_indices
+            .into_iter()
+            .take(config.malicious as usize)
+            .collect();
+
+        let mut kinds = vec![NodeKind::Sensor; config.nodes as usize];
+        let mut compromised: Vec<Option<CompromisedBeacon>> = vec![None; config.nodes as usize];
+        let strategy = BeaconStrategy::with_acceptance(config.attacker_p);
+        for b in 0..config.beacons {
+            kinds[b as usize] = NodeKind::BenignBeacon;
+        }
+        for &b in &malicious_set {
+            kinds[b as usize] = NodeKind::MaliciousBeacon;
+            let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let offset = Vector2::from_angle(angle) * config.lie_offset_ft;
+            compromised[b as usize] = Some(CompromisedBeacon::new(
+                NodeId(b),
+                positions[b as usize],
+                offset,
+                strategy,
+                subseed(seed, &[b"beacon".as_slice(), &b.to_le_bytes()].concat()),
+            ));
+        }
+
+        let wormhole = config
+            .wormhole
+            .map(|(a, b)| Wormhole::new(a, b, Cycles::ZERO));
+
+        let ids = IdSpace::new(config.beacons, config.non_beacons(), config.detecting_ids);
+
+        Deployment {
+            config,
+            ids,
+            index,
+            kinds,
+            compromised,
+            wormhole,
+            seed,
+        }
+    }
+
+    /// The configuration this deployment was generated from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The partitioned ID space (beacon / sensor / detecting IDs).
+    pub fn ids(&self) -> &IdSpace {
+        &self.ids
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Position of node `i`.
+    pub fn position(&self, i: u32) -> Point2 {
+        self.index.position(i as usize)
+    }
+
+    /// Omniscient node classification.
+    pub fn kind(&self, i: u32) -> NodeKind {
+        self.kinds[i as usize]
+    }
+
+    /// The compromised-beacon behaviour of node `i`, if it is malicious.
+    pub fn compromised(&self, i: u32) -> Option<&CompromisedBeacon> {
+        self.compromised[i as usize].as_ref()
+    }
+
+    /// The wormhole, if configured.
+    pub fn wormhole(&self) -> Option<&Wormhole> {
+        self.wormhole.as_ref()
+    }
+
+    /// Indices of all nodes within radio range of node `i` (excluding `i`).
+    pub fn neighbors(&self, i: u32) -> Vec<u32> {
+        self.index
+            .neighbors_of(i as usize, self.config.range_ft)
+            .into_iter()
+            .map(|x| x as u32)
+            .collect()
+    }
+
+    /// All beacon indices of a kind.
+    pub fn beacons_of_kind(&self, kind: NodeKind) -> Vec<u32> {
+        (0..self.config.beacons)
+            .filter(|&b| self.kinds[b as usize] == kind)
+            .collect()
+    }
+
+    /// All sensor (non-beacon) indices.
+    pub fn sensors(&self) -> impl Iterator<Item = u32> + '_ {
+        self.config.beacons..self.config.nodes
+    }
+
+    /// Mean number of requesting nodes within range of a beacon — the
+    /// empirical `N_c` used to parameterise the theory overlay.
+    pub fn mean_requesters_per_beacon(&self) -> f64 {
+        let total: usize = (0..self.config.beacons)
+            .map(|b| self.neighbors(b).len())
+            .sum();
+        total as f64 / self.config.beacons as f64
+    }
+}
+
+/// Derives an independent RNG stream seed from a master seed and a label.
+pub(crate) fn subseed(master: u64, label: &[u8]) -> u64 {
+    prf::prf64((master, 0x5ec1_0c5e_ed5e_ed00), label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            nodes: 300,
+            beacons: 30,
+            malicious: 5,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Deployment::generate(small_config(), 9);
+        let b = Deployment::generate(small_config(), 9);
+        for i in 0..300 {
+            assert_eq!(a.position(i), b.position(i));
+            assert_eq!(a.kind(i), b.kind(i));
+        }
+        let c = Deployment::generate(small_config(), 10);
+        assert!((0..300).any(|i| a.position(i) != c.position(i)));
+    }
+
+    #[test]
+    fn role_counts_match_config() {
+        let d = Deployment::generate(small_config(), 1);
+        assert_eq!(d.beacons_of_kind(NodeKind::MaliciousBeacon).len(), 5);
+        assert_eq!(d.beacons_of_kind(NodeKind::BenignBeacon).len(), 25);
+        assert_eq!(d.sensors().count(), 270);
+        // Sensors are never classified as beacons.
+        for s in d.sensors() {
+            assert_eq!(d.kind(s), NodeKind::Sensor);
+        }
+    }
+
+    #[test]
+    fn compromised_behaviour_attached_to_malicious_only() {
+        let d = Deployment::generate(small_config(), 2);
+        for b in 0..30 {
+            match d.kind(b) {
+                NodeKind::MaliciousBeacon => {
+                    let c = d.compromised(b).expect("behaviour missing");
+                    assert_eq!(c.id(), NodeId(b));
+                    assert_eq!(c.true_position(), d.position(b));
+                    let lie = c.declared_position().distance(c.true_position());
+                    assert!((lie - 300.0).abs() < 1e-6);
+                }
+                _ => assert!(d.compromised(b).is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_range() {
+        let d = Deployment::generate(small_config(), 3);
+        for b in (0..300).step_by(37) {
+            for n in d.neighbors(b) {
+                assert!(d.position(b).distance(d.position(n)) <= 150.0);
+                assert_ne!(n, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_requesters_close_to_coverage_expectation() {
+        let cfg = SimConfig::paper_default();
+        let d = Deployment::generate(cfg.clone(), 4);
+        let expected =
+            std::f64::consts::PI * cfg.range_ft * cfg.range_ft / (1000.0 * 1000.0) * 999.0;
+        let got = d.mean_requesters_per_beacon();
+        // Border effects push the mean below the toroidal expectation.
+        assert!(
+            got > expected * 0.6 && got < expected * 1.1,
+            "got {got}, expected around {expected}"
+        );
+    }
+
+    #[test]
+    fn wormhole_present_per_config() {
+        let d = Deployment::generate(small_config(), 5);
+        let w = d.wormhole().expect("wormhole configured");
+        assert_eq!(w.end_a(), Point2::new(100.0, 100.0));
+        let mut no_w = small_config();
+        no_w.wormhole = None;
+        assert!(Deployment::generate(no_w, 5).wormhole().is_none());
+    }
+
+    #[test]
+    fn id_space_matches_population() {
+        let d = Deployment::generate(small_config(), 6);
+        assert_eq!(d.ids().beacon_count(), 30);
+        assert_eq!(d.ids().sensor_count(), 270);
+        assert_eq!(d.ids().detecting_ids_per_beacon(), 8);
+    }
+
+    #[test]
+    fn subseed_streams_are_distinct() {
+        assert_ne!(subseed(1, b"a"), subseed(1, b"b"));
+        assert_ne!(subseed(1, b"a"), subseed(2, b"a"));
+        assert_eq!(subseed(1, b"a"), subseed(1, b"a"));
+    }
+}

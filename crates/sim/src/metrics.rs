@@ -1,0 +1,164 @@
+//! Simulation outcomes and aggregation across seeds.
+
+/// The measurements from one simulated deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Number of malicious beacons deployed (`N_a`).
+    pub malicious_total: u32,
+    /// Number of benign beacons deployed (`N_b − N_a`).
+    pub benign_total: u32,
+    /// Malicious beacons revoked by the base station.
+    pub revoked_malicious: u32,
+    /// Benign beacons revoked (false positives).
+    pub revoked_benign: u32,
+    /// Average non-beacon nodes accepting a malicious signal per malicious
+    /// beacon, before any revocation.
+    pub affected_before: f64,
+    /// The paper's `N′`: same average after revocation (revoked beacons'
+    /// signals are discarded by the sensors).
+    pub affected_after: f64,
+    /// Alerts submitted by benign detecting nodes.
+    pub benign_alerts: usize,
+    /// Alerts submitted by colluding malicious beacons.
+    pub collusion_alerts: usize,
+    /// Empirical mean number of requesting nodes per beacon (`N_c`).
+    pub mean_requesters_per_beacon: f64,
+    /// Mean localization error (MMSE estimator) using all accepted
+    /// references, in feet — `None` when no sensor could localize.
+    pub mean_loc_error_before_ft: Option<f64>,
+    /// Mean localization error after revoked beacons' references are
+    /// discarded.
+    pub mean_loc_error_after_ft: Option<f64>,
+}
+
+impl SimOutcome {
+    /// Fraction of malicious beacons revoked (the paper's simulated
+    /// detection rate). Returns 1.0 when no malicious beacons exist
+    /// (vacuously all were handled).
+    pub fn detection_rate(&self) -> f64 {
+        if self.malicious_total == 0 {
+            1.0
+        } else {
+            self.revoked_malicious as f64 / self.malicious_total as f64
+        }
+    }
+
+    /// Fraction of benign beacons revoked — the paper's false positive
+    /// rate (`#incorrectly revoked beacons / #total benign beacons`).
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.benign_total == 0 {
+            0.0
+        } else {
+            self.revoked_benign as f64 / self.benign_total as f64
+        }
+    }
+}
+
+/// Mean-and-spread summary over repeated seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateOutcome {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean detection rate.
+    pub detection_rate: f64,
+    /// Sample standard deviation of the detection rate.
+    pub detection_rate_std: f64,
+    /// Mean false positive rate.
+    pub false_positive_rate: f64,
+    /// Mean `N′` (affected non-beacons after revocation).
+    pub affected_after: f64,
+    /// Mean affected non-beacons before revocation.
+    pub affected_before: f64,
+    /// Mean empirical `N_c`.
+    pub mean_requesters_per_beacon: f64,
+}
+
+/// Aggregates outcomes from repeated seeded runs.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn average_outcomes(outcomes: &[SimOutcome]) -> AggregateOutcome {
+    assert!(!outcomes.is_empty(), "cannot aggregate zero runs");
+    let n = outcomes.len() as f64;
+    let mean = |f: &dyn Fn(&SimOutcome) -> f64| outcomes.iter().map(f).sum::<f64>() / n;
+    let dr = mean(&|o| o.detection_rate());
+    let dr_var = if outcomes.len() > 1 {
+        outcomes
+            .iter()
+            .map(|o| (o.detection_rate() - dr).powi(2))
+            .sum::<f64>()
+            / (n - 1.0)
+    } else {
+        0.0
+    };
+    AggregateOutcome {
+        runs: outcomes.len(),
+        detection_rate: dr,
+        detection_rate_std: dr_var.sqrt(),
+        false_positive_rate: mean(&|o| o.false_positive_rate()),
+        affected_after: mean(&|o| o.affected_after),
+        affected_before: mean(&|o| o.affected_before),
+        mean_requesters_per_beacon: mean(&|o| o.mean_requesters_per_beacon),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(revoked_malicious: u32, revoked_benign: u32) -> SimOutcome {
+        SimOutcome {
+            malicious_total: 10,
+            benign_total: 90,
+            revoked_malicious,
+            revoked_benign,
+            affected_before: 5.0,
+            affected_after: 2.0,
+            benign_alerts: 40,
+            collusion_alerts: 30,
+            mean_requesters_per_beacon: 60.0,
+            mean_loc_error_before_ft: Some(8.0),
+            mean_loc_error_after_ft: Some(6.0),
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let o = outcome(7, 9);
+        assert!((o.detection_rate() - 0.7).abs() < 1e-12);
+        assert!((o.false_positive_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_populations() {
+        let mut o = outcome(0, 0);
+        o.malicious_total = 0;
+        o.benign_total = 0;
+        assert_eq!(o.detection_rate(), 1.0);
+        assert_eq!(o.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_means_and_std() {
+        let agg = average_outcomes(&[outcome(10, 0), outcome(5, 9)]);
+        assert_eq!(agg.runs, 2);
+        assert!((agg.detection_rate - 0.75).abs() < 1e-12);
+        assert!((agg.false_positive_rate - 0.05).abs() < 1e-12);
+        assert!((agg.affected_after - 2.0).abs() < 1e-12);
+        // std of {1.0, 0.5} = 0.3535...
+        assert!((agg.detection_rate_std - 0.353_553).abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let agg = average_outcomes(&[outcome(3, 1)]);
+        assert_eq!(agg.detection_rate_std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_aggregation_rejected() {
+        average_outcomes(&[]);
+    }
+}

@@ -1,0 +1,427 @@
+//! One request/reply beacon exchange.
+
+use crate::{Deployment, NodeKind};
+use rand::rngs::StdRng;
+use secloc_attack::Action;
+use secloc_core::{DetectionOutcome, DetectionPipeline, Observation};
+use secloc_crypto::NodeId;
+use secloc_geometry::Point2;
+use secloc_radio::ranging::{BoundedRanging, Ranging};
+use secloc_radio::timing::RttModel;
+use secloc_radio::Cycles;
+
+/// The shared machinery for running probes against one deployment.
+#[derive(Debug)]
+pub struct ProbeContext<'a> {
+    deployment: &'a Deployment,
+    pipeline: DetectionPipeline,
+    ranging: BoundedRanging,
+    rtt_model: RttModel,
+    wormhole_detector_seed: u64,
+}
+
+/// Everything produced by one exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeResult {
+    /// What the requester observed.
+    pub observation: Observation,
+    /// The detection pipeline's verdict on the observation.
+    pub outcome: DetectionOutcome,
+    /// Whether a non-beacon requester would keep the signal for
+    /// localization.
+    pub accepted_for_localization: bool,
+    /// The malicious action behind the reply (`None` for benign targets).
+    pub action: Option<Action>,
+    /// Whether the signal travelled through the wormhole.
+    pub via_wormhole: bool,
+}
+
+impl<'a> ProbeContext<'a> {
+    /// Builds the probe machinery for `deployment`.
+    pub fn new(deployment: &'a Deployment) -> Self {
+        let cfg = deployment.config();
+        let pipeline = DetectionPipeline::new(
+            secloc_core::SignalDetector::new(cfg.max_ranging_error_ft),
+            secloc_core::WormholeFilter::new(cfg.range_ft),
+            secloc_core::RttFilter::paper_default(),
+        );
+        ProbeContext {
+            deployment,
+            pipeline,
+            ranging: BoundedRanging::new(cfg.max_ranging_error_ft),
+            rtt_model: RttModel::paper_default(),
+            wormhole_detector_seed: crate::deploy::subseed(deployment.seed(), b"wormhole-detector"),
+        }
+    }
+
+    /// The wormhole detector's verdict for the link `requester -> target`.
+    ///
+    /// Real wormhole detectors (geographic/temporal leashes, directional
+    /// antennas) judge a *link*, so their verdict is consistent across
+    /// repeated exchanges on the same pair; modelling it as an independent
+    /// coin per probe would inflate the per-pair false-alert probability
+    /// from the paper's `1 − p_d` to `1 − p_d^m`. The verdict is therefore
+    /// a deterministic Bernoulli(`p_d`) draw keyed by the pair.
+    fn wormhole_detector_fires(&self, requester: u32, target: u32) -> bool {
+        let tag = secloc_crypto::prf::prf64(
+            (self.wormhole_detector_seed, requester as u64),
+            &target.to_le_bytes(),
+        );
+        let uniform = (tag >> 11) as f64 / (1u64 << 53) as f64;
+        uniform < self.deployment.config().wormhole_detection_rate
+    }
+
+    /// The detection pipeline in force.
+    pub fn pipeline(&self) -> &DetectionPipeline {
+        &self.pipeline
+    }
+
+    /// Runs one exchange: the node at index `requester` (presenting wire
+    /// identity `requester_wire_id`) requests a beacon signal from beacon
+    /// index `target`.
+    ///
+    /// Returns `None` when no signal reaches the requester at all (out of
+    /// range and not wormhole-connected; or a malicious target contacted
+    /// via the wormhole — §4: "a malicious beacon node only contacts the
+    /// nodes within its communication range").
+    pub fn probe(
+        &self,
+        requester: u32,
+        requester_wire_id: NodeId,
+        target: u32,
+        rng: &mut StdRng,
+    ) -> Option<ProbeResult> {
+        let cfg = self.deployment.config();
+        let rq_pos = self.deployment.position(requester);
+        let tg_pos = self.deployment.position(target);
+        let direct = rq_pos.distance(tg_pos) <= cfg.range_ft;
+
+        match self.deployment.kind(target) {
+            NodeKind::Sensor => None, // sensors do not emit beacon signals
+            NodeKind::MaliciousBeacon if direct => {
+                let beacon = self.deployment.compromised(target).expect("malicious");
+                let action = beacon.decide(requester_wire_id);
+                Some(self.malicious_reply(rq_pos, tg_pos, beacon.declared_position(), action, rng))
+            }
+            NodeKind::MaliciousBeacon => None,
+            NodeKind::BenignBeacon => {
+                if direct {
+                    Some(self.benign_direct_reply(rq_pos, tg_pos, rng))
+                } else {
+                    let exit = self
+                        .deployment
+                        .wormhole()
+                        .and_then(|w| w.exit_for(tg_pos, cfg.range_ft))
+                        .filter(|exit| exit.distance(rq_pos) <= cfg.range_ft)?;
+                    Some(self.benign_wormhole_reply(requester, target, rq_pos, tg_pos, exit, rng))
+                }
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        observation: Observation,
+        action: Option<Action>,
+        via_wormhole: bool,
+    ) -> ProbeResult {
+        ProbeResult {
+            observation,
+            outcome: self.pipeline.evaluate(&observation),
+            accepted_for_localization: self.pipeline.accepts_for_localization(&observation),
+            action,
+            via_wormhole,
+        }
+    }
+
+    fn benign_direct_reply(&self, rq: Point2, tg: Point2, rng: &mut StdRng) -> ProbeResult {
+        let d = rq.distance(tg);
+        let obs = Observation {
+            detector_position: rq,
+            declared_position: tg,
+            measured_distance_ft: self.ranging.measure(d, rng),
+            rtt: self.rtt_model.sample(d, Cycles::ZERO, rng),
+            wormhole_detector_fired: false,
+        };
+        self.finish(obs, None, false)
+    }
+
+    fn benign_wormhole_reply(
+        &self,
+        requester: u32,
+        target: u32,
+        rq: Point2,
+        tg: Point2,
+        exit: Point2,
+        rng: &mut StdRng,
+    ) -> ProbeResult {
+        let tunnel_extra = self
+            .deployment
+            .wormhole()
+            .map(|w| w.extra_delay())
+            .unwrap_or(Cycles::ZERO);
+        // The signal re-enters the air at the wormhole exit: distance (and
+        // hence RSSI ranging) reflects the exit, not the true beacon.
+        let apparent = rq.distance(exit);
+        let obs = Observation {
+            detector_position: rq,
+            declared_position: tg, // truthful beacon, distant location
+            measured_distance_ft: self.ranging.measure(apparent, rng),
+            rtt: self.rtt_model.sample(apparent, tunnel_extra, rng),
+            wormhole_detector_fired: self.wormhole_detector_fires(requester, target),
+        };
+        self.finish(obs, None, true)
+    }
+
+    fn malicious_reply(
+        &self,
+        rq: Point2,
+        tg: Point2,
+        lie: Point2,
+        action: Action,
+        rng: &mut StdRng,
+    ) -> ProbeResult {
+        let cfg = self.deployment.config();
+        let true_d = rq.distance(tg);
+        let obs = match action {
+            Action::Normal => Observation {
+                // Indistinguishable from an honest beacon.
+                detector_position: rq,
+                declared_position: tg,
+                measured_distance_ft: self.ranging.measure(true_d, rng),
+                rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng),
+                wormhole_detector_fired: false,
+            },
+            Action::MaliciousSignal => Observation {
+                // The undisguised lie: false location, honest timing.
+                detector_position: rq,
+                declared_position: lie,
+                measured_distance_ft: self.ranging.measure(true_d, rng),
+                rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng),
+                wormhole_detector_fired: false,
+            },
+            Action::FakeWormhole => {
+                // The attacker crafts the packet so the requester concludes
+                // "wormhole": a declared location beyond radio range plus a
+                // manipulated signal that trips the wormhole detector.
+                let away = (rq - tg)
+                    .normalized()
+                    .unwrap_or(secloc_geometry::Vector2::new(1.0, 0.0));
+                let fake_decl = rq + away * (cfg.range_ft * 3.0);
+                Observation {
+                    detector_position: rq,
+                    declared_position: fake_decl,
+                    measured_distance_ft: self.ranging.measure(true_d, rng),
+                    rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng),
+                    wormhole_detector_fired: true,
+                }
+            }
+            Action::FakeLocalReplay => Observation {
+                // The attacker delays its own reply past x_max so it looks
+                // locally replayed.
+                detector_position: rq,
+                declared_position: lie,
+                measured_distance_ft: self.ranging.measure(true_d, rng),
+                rtt: self.rtt_model.sample(true_d, Cycles::from_bits(100.0), rng),
+                wormhole_detector_fired: false,
+            },
+        };
+        self.finish(obs, Some(action), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use rand::SeedableRng;
+
+    fn deployment() -> Deployment {
+        Deployment::generate(
+            SimConfig {
+                nodes: 400,
+                beacons: 40,
+                malicious: 8,
+                attacker_p: 0.5,
+                ..SimConfig::paper_default()
+            },
+            11,
+        )
+    }
+
+    #[test]
+    fn benign_direct_probes_are_benign() {
+        let d = deployment();
+        let ctx = ProbeContext::new(&d);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut checked = 0;
+        for u in d.beacons_of_kind(NodeKind::BenignBeacon) {
+            for v in d.neighbors(u) {
+                if d.kind(v) == NodeKind::BenignBeacon {
+                    let r = ctx
+                        .probe(u, d.ids().detecting_id(u, 0), v, &mut rng)
+                        .expect("in range");
+                    assert_eq!(r.outcome, DetectionOutcome::Benign, "{u}->{v}");
+                    assert!(r.accepted_for_localization);
+                    assert!(!r.via_wormhole);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 10, "too few benign pairs: {checked}");
+    }
+
+    #[test]
+    fn malicious_signal_probes_alert() {
+        let d = deployment();
+        let ctx = ProbeContext::new(&d);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut alerted = 0;
+        let mut hidden = 0;
+        for v in d.beacons_of_kind(NodeKind::MaliciousBeacon) {
+            for u in d.neighbors(v) {
+                if d.kind(u) != NodeKind::BenignBeacon {
+                    continue;
+                }
+                let wire = d.ids().detecting_id(u, 0);
+                let r = ctx.probe(u, wire, v, &mut rng).expect("in range");
+                match r.action.expect("malicious target") {
+                    Action::MaliciousSignal => {
+                        assert_eq!(r.outcome, DetectionOutcome::Alert);
+                        alerted += 1;
+                    }
+                    Action::Normal => {
+                        assert_eq!(r.outcome, DetectionOutcome::Benign);
+                        hidden += 1;
+                    }
+                    Action::FakeWormhole => {
+                        assert_eq!(r.outcome, DetectionOutcome::IgnoredWormholeReplay)
+                    }
+                    Action::FakeLocalReplay => {
+                        assert_eq!(r.outcome, DetectionOutcome::IgnoredLocalReplay)
+                    }
+                }
+            }
+        }
+        assert!(alerted > 0, "P=0.5 must produce alerts");
+        assert!(hidden > 0, "P=0.5 must also hide sometimes");
+    }
+
+    #[test]
+    fn sensors_accept_malicious_signals_but_not_disguised_ones() {
+        let d = deployment();
+        let ctx = ProbeContext::new(&d);
+        let mut rng = StdRng::seed_from_u64(3);
+        for v in d.beacons_of_kind(NodeKind::MaliciousBeacon) {
+            for u in d.neighbors(v) {
+                if d.kind(u) != NodeKind::Sensor {
+                    continue;
+                }
+                let r = ctx.probe(u, NodeId(u), v, &mut rng).expect("in range");
+                match r.action.unwrap() {
+                    Action::MaliciousSignal | Action::Normal => {
+                        assert!(r.accepted_for_localization)
+                    }
+                    Action::FakeWormhole | Action::FakeLocalReplay => {
+                        assert!(!r.accepted_for_localization)
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wormhole_replays_follow_pd_per_pair() {
+        // Across many deployments, the fraction of wormhole-connected
+        // (detector, beacon) pairs whose replay survives the wormhole
+        // detector must track 1 - p_d. Within one pair the verdict is
+        // consistent (a leash judges the link, not the packet), so the
+        // paper's per-pair false-alert bound (1 - p_d) holds even with
+        // m = 8 probes.
+        let mut suppressed = 0usize;
+        let mut false_alerts = 0usize;
+        for seed in 0..12 {
+            let cfg = SimConfig {
+                nodes: 1000,
+                beacons: 100,
+                malicious: 0,
+                ..SimConfig::paper_default()
+            };
+            let d = Deployment::generate(cfg, seed);
+            let ctx = ProbeContext::new(&d);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let w = *d.wormhole().unwrap();
+            for u in d.beacons_of_kind(NodeKind::BenignBeacon) {
+                for v in d.beacons_of_kind(NodeKind::BenignBeacon) {
+                    if u == v {
+                        continue;
+                    }
+                    let (up, vp) = (d.position(u), d.position(v));
+                    if up.distance(vp) <= 150.0 || !w.tunnels(vp, up, 150.0) {
+                        continue;
+                    }
+                    // Probe the same pair under several detecting IDs: the
+                    // outcome class must not flip within a pair.
+                    let mut outcomes = Vec::new();
+                    for k in 0..4 {
+                        let r = ctx
+                            .probe(u, d.ids().detecting_id(u, k), v, &mut rng)
+                            .expect("wormhole-connected");
+                        assert!(r.via_wormhole);
+                        outcomes.push(r.outcome);
+                    }
+                    assert!(
+                        outcomes.windows(2).all(|w| w[0] == w[1]),
+                        "verdict flipped within a pair: {outcomes:?}"
+                    );
+                    match outcomes[0] {
+                        DetectionOutcome::IgnoredWormholeReplay => suppressed += 1,
+                        DetectionOutcome::Alert => false_alerts += 1,
+                        other => panic!("unexpected outcome {other:?}"),
+                    }
+                }
+            }
+        }
+        let total = suppressed + false_alerts;
+        assert!(total > 50, "need wormhole-connected pairs, got {total}");
+        let miss_rate = false_alerts as f64 / total as f64;
+        assert!(
+            (miss_rate - 0.1).abs() < 0.06,
+            "false-alert rate {miss_rate} should track 1-p_d=0.1 ({total} pairs)"
+        );
+    }
+
+    #[test]
+    fn out_of_range_probe_returns_none() {
+        let d = deployment();
+        let ctx = ProbeContext::new(&d);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Find a pair farther apart than range and not wormhole-connected.
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                if u == v || d.kind(v) != NodeKind::BenignBeacon {
+                    continue;
+                }
+                let dist = d.position(u).distance(d.position(v));
+                let tunneled = d
+                    .wormhole()
+                    .map(|w| w.tunnels(d.position(v), d.position(u), 150.0))
+                    .unwrap_or(false);
+                if dist > 150.0 && !tunneled {
+                    assert!(ctx.probe(u, NodeId(u), v, &mut rng).is_none());
+                    return;
+                }
+            }
+        }
+        panic!("no out-of-range pair found");
+    }
+
+    #[test]
+    fn probing_a_sensor_yields_nothing() {
+        let d = deployment();
+        let ctx = ProbeContext::new(&d);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sensor = d.sensors().next().unwrap();
+        assert!(ctx.probe(0, NodeId(0), sensor, &mut rng).is_none());
+    }
+}

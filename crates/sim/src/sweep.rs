@@ -1,0 +1,129 @@
+//! Parallel experiment sweeps.
+//!
+//! Paper-scale figures average each data point over several seeded runs;
+//! every run is independent, so they parallelise perfectly. This module
+//! fans runs out over OS threads (no extra dependencies) while keeping
+//! results bit-identical to serial execution: each run is fully determined
+//! by `(config, seed)`, and outputs are returned in seed order.
+
+use crate::{Experiment, SimConfig, SimOutcome};
+use std::thread;
+
+/// Runs `Experiment::new(config, seed).run()` for every seed, spread over
+/// up to `threads` OS threads, returning outcomes in seed order.
+///
+/// Passing `threads = 1` degenerates to the serial loop; results are
+/// identical either way.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn run_seeds(config: &SimConfig, seeds: &[u64], threads: usize) -> Vec<SimOutcome> {
+    assert!(threads > 0, "need at least one thread");
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(seeds.len());
+    if threads == 1 {
+        return seeds
+            .iter()
+            .map(|&s| Experiment::new(config.clone(), s).run())
+            .collect();
+    }
+    let mut slots: Vec<Option<SimOutcome>> = vec![None; seeds.len()];
+    thread::scope(|scope| {
+        // Interleaved assignment keeps per-thread work balanced.
+        let chunks: Vec<(usize, &mut [Option<SimOutcome>])> = {
+            let mut rest: &mut [Option<SimOutcome>] = &mut slots;
+            let mut out = Vec::new();
+            let base = seeds.len() / threads;
+            let extra = seeds.len() % threads;
+            let mut offset = 0usize;
+            for t in 0..threads {
+                let take = base + usize::from(t < extra);
+                let (head, tail) = rest.split_at_mut(take);
+                out.push((offset, head));
+                rest = tail;
+                offset += take;
+            }
+            out
+        };
+        for (offset, chunk) in chunks {
+            let config = config.clone();
+            let seeds = &seeds[offset..offset + chunk.len()];
+            scope.spawn(move || {
+                for (slot, &seed) in chunk.iter_mut().zip(seeds) {
+                    *slot = Some(Experiment::new(config.clone(), seed).run());
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// A convenience wrapper: run `seeds` and return the per-seed outcomes
+/// using all available parallelism.
+pub fn run_seeds_auto(config: &SimConfig, seeds: &[u64]) -> Vec<SimOutcome> {
+    let threads = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_seeds(config, seeds, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            nodes: 300,
+            beacons: 30,
+            malicious: 3,
+            attacker_p: 0.4,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let seeds: Vec<u64> = (0..7).collect();
+        let serial = run_seeds(&cfg(), &seeds, 1);
+        let parallel = run_seeds(&cfg(), &seeds, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn order_is_seed_order() {
+        let seeds = [5u64, 1, 9];
+        let out = run_seeds(&cfg(), &seeds, 3);
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(out[i], Experiment::new(cfg(), s).run());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_seeds_is_fine() {
+        let out = run_seeds(&cfg(), &[3], 16);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        assert!(run_seeds(&cfg(), &[], 4).is_empty());
+    }
+
+    #[test]
+    fn auto_variant_agrees() {
+        let seeds: Vec<u64> = (0..4).collect();
+        assert_eq!(run_seeds_auto(&cfg(), &seeds), run_seeds(&cfg(), &seeds, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        run_seeds(&cfg(), &[1], 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Structured traces of experiment runs.
+//!
+//! A [`crate::SimOutcome`] answers "what happened on average"; a [`Trace`] answers
+//! "what happened, in order" — which detector accused whom, what the base
+//! station did with each alert, and when each revocation landed. Used by
+//! operators debugging threshold choices and by tests asserting ordering
+//! properties the aggregate metrics can't see.
+
+use secloc_core::AlertOutcome;
+use secloc_crypto::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Who submitted an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertSource {
+    /// A benign detecting beacon reporting a §2 detection.
+    Detection,
+    /// A colluding malicious beacon spending its report budget.
+    Collusion,
+}
+
+/// One base-station decision, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertRecord {
+    /// Arrival index (0-based) across all alerts.
+    pub sequence: usize,
+    /// The accusing node.
+    pub reporter: NodeId,
+    /// The accused beacon.
+    pub target: NodeId,
+    /// Where the alert came from.
+    pub source: AlertSource,
+    /// What the base station did with it.
+    pub outcome: AlertOutcome,
+    /// Whether the alert survived the lossy path (dropped alerts never
+    /// reach the base station; their outcome is recorded as seen by the
+    /// omniscient trace).
+    pub delivered: bool,
+}
+
+/// The full audit of one run's revocation phase.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<AlertRecord>,
+    revocation_sequence: Vec<(usize, NodeId)>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        reporter: NodeId,
+        target: NodeId,
+        source: AlertSource,
+        outcome: AlertOutcome,
+        delivered: bool,
+    ) {
+        let sequence = self.records.len();
+        if outcome == AlertOutcome::AcceptedAndRevoked {
+            self.revocation_sequence.push((sequence, target));
+        }
+        self.records.push(AlertRecord {
+            sequence,
+            reporter,
+            target,
+            source,
+            outcome,
+            delivered,
+        });
+    }
+
+    /// All alert records in arrival order.
+    pub fn records(&self) -> &[AlertRecord] {
+        &self.records
+    }
+
+    /// The revocations in the order they fired: `(alert sequence, target)`.
+    pub fn revocations(&self) -> &[(usize, NodeId)] {
+        &self.revocation_sequence
+    }
+
+    /// Alerts submitted against `target`, in order.
+    pub fn alerts_against(&self, target: NodeId) -> Vec<&AlertRecord> {
+        self.records.iter().filter(|r| r.target == target).collect()
+    }
+
+    /// Per-reporter counts of delivered alerts, for budget audits.
+    pub fn delivered_per_reporter(&self) -> HashMap<NodeId, usize> {
+        let mut out = HashMap::new();
+        for r in &self.records {
+            if r.delivered {
+                *out.entry(r.reporter).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Fraction of delivered alerts that were accepted (not ignored) —
+    /// a quick health indicator for threshold tuning.
+    pub fn acceptance_ratio(&self) -> f64 {
+        let delivered: Vec<&AlertRecord> = self.records.iter().filter(|r| r.delivered).collect();
+        if delivered.is_empty() {
+            return 1.0;
+        }
+        let accepted = delivered.iter().filter(|r| r.outcome.accepted()).count();
+        accepted as f64 / delivered.len() as f64
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} alerts, {} revocations",
+            self.records.len(),
+            self.revocation_sequence.len()
+        )?;
+        for (seq, target) in &self.revocation_sequence {
+            writeln!(f, "  revoked {target} at alert #{seq}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.record(
+            NodeId(1),
+            NodeId(9),
+            AlertSource::Detection,
+            AlertOutcome::Accepted,
+            true,
+        );
+        t.record(
+            NodeId(2),
+            NodeId(9),
+            AlertSource::Detection,
+            AlertOutcome::Accepted,
+            true,
+        );
+        t.record(
+            NodeId(0),
+            NodeId(5),
+            AlertSource::Collusion,
+            AlertOutcome::Accepted,
+            true,
+        );
+        t.record(
+            NodeId(3),
+            NodeId(9),
+            AlertSource::Detection,
+            AlertOutcome::AcceptedAndRevoked,
+            true,
+        );
+        t.record(
+            NodeId(4),
+            NodeId(9),
+            AlertSource::Detection,
+            AlertOutcome::IgnoredTargetRevoked,
+            true,
+        );
+        t.record(
+            NodeId(5),
+            NodeId(6),
+            AlertSource::Detection,
+            AlertOutcome::Accepted,
+            false,
+        );
+        t
+    }
+
+    #[test]
+    fn sequences_and_revocations() {
+        let t = sample();
+        assert_eq!(t.records().len(), 6);
+        assert_eq!(t.revocations(), &[(3, NodeId(9))]);
+        assert_eq!(t.alerts_against(NodeId(9)).len(), 4);
+        assert!(t
+            .records()
+            .windows(2)
+            .all(|w| w[0].sequence + 1 == w[1].sequence));
+    }
+
+    #[test]
+    fn reporter_budget_audit() {
+        let t = sample();
+        let per = t.delivered_per_reporter();
+        assert_eq!(per[&NodeId(1)], 1);
+        assert!(!per.contains_key(&NodeId(5)), "undelivered alerts excluded");
+    }
+
+    #[test]
+    fn acceptance_ratio_counts_only_delivered() {
+        let t = sample();
+        // 5 delivered, 4 accepted (one IgnoredTargetRevoked).
+        assert!((t.acceptance_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(Trace::new().acceptance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn display_names_revocations() {
+        let s = sample().to_string();
+        assert!(s.contains("revoked n9 at alert #3"));
+        assert!(s.contains("6 alerts"));
+    }
+}

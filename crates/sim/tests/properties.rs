@@ -1,0 +1,114 @@
+//! Property-based tests for the simulation layer.
+
+use proptest::prelude::*;
+use secloc_sim::distributed::{run_distributed, DistributedConfig};
+use secloc_sim::{Deployment, Experiment, SimConfig};
+
+fn small_config() -> impl Strategy<Value = SimConfig> {
+    (
+        100u32..400,   // nodes
+        5u32..40,      // beacons
+        0.0..1.0f64,   // attacker P
+        0u32..4,       // tau'
+        1u32..4,       // tau
+        1u32..9,       // m
+        any::<bool>(), // collusion
+        any::<bool>(), // wormhole on/off
+    )
+        .prop_map(
+            |(nodes, beacons, p, tau_prime, tau, m, collusion, wormhole)| {
+                let beacons = beacons.min(nodes / 3).max(2);
+                SimConfig {
+                    nodes,
+                    beacons,
+                    malicious: beacons / 4,
+                    attacker_p: p,
+                    tau,
+                    tau_prime,
+                    detecting_ids: m,
+                    collusion,
+                    wormhole: if wormhole {
+                        SimConfig::paper_default().wormhole
+                    } else {
+                        None
+                    },
+                    ..SimConfig::paper_default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn experiment_invariants(cfg in small_config(), seed in 0u64..1000) {
+        let outcome = Experiment::new(cfg.clone(), seed).run();
+        // Rates are probabilities.
+        prop_assert!((0.0..=1.0).contains(&outcome.detection_rate()));
+        prop_assert!((0.0..=1.0).contains(&outcome.false_positive_rate()));
+        // Revocation never increases poisoning.
+        prop_assert!(outcome.affected_after <= outcome.affected_before + 1e-9);
+        // Counts are bounded by the population.
+        prop_assert!(outcome.revoked_malicious <= cfg.malicious);
+        prop_assert!(outcome.revoked_benign <= cfg.benign_beacons());
+        // The collusion bound (§4) plus wormhole slack.
+        if cfg.collusion {
+            let bound = (cfg.malicious * (cfg.tau + 1)) / (cfg.tau_prime + 1);
+            prop_assert!(
+                outcome.revoked_benign <= bound + 5,
+                "{} benign revoked vs bound {}",
+                outcome.revoked_benign,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_deterministic(cfg in small_config(), seed in 0u64..1000) {
+        let a = Experiment::new(cfg.clone(), seed).run();
+        let b = Experiment::new(cfg, seed).run();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_attackers_no_damage(seed in 0u64..1000) {
+        let cfg = SimConfig {
+            nodes: 300,
+            beacons: 30,
+            malicious: 0,
+            wormhole: None,
+            collusion: false,
+            ..SimConfig::paper_default()
+        };
+        let outcome = Experiment::new(cfg, seed).run();
+        prop_assert_eq!(outcome.benign_alerts, 0);
+        prop_assert_eq!(outcome.revoked_benign, 0);
+        prop_assert_eq!(outcome.affected_before, 0.0);
+    }
+
+    #[test]
+    fn distributed_invariants(
+        seed in 0u64..200,
+        hops in 0u32..4,
+        p in 0.0..1.0f64,
+    ) {
+        let cfg = SimConfig {
+            nodes: 300,
+            beacons: 30,
+            malicious: 4,
+            attacker_p: p,
+            wormhole: None,
+            ..SimConfig::paper_default()
+        };
+        let d = Deployment::generate(cfg, seed);
+        let out = run_distributed(
+            &d,
+            DistributedConfig { tau: 2, tau_prime: 2, gossip_hops: hops },
+            seed + 1,
+        );
+        prop_assert!((0.0..=1.0).contains(&out.neighbourhood_detection_rate));
+        prop_assert!((0.0..=1.0).contains(&out.neighbourhood_false_positive_rate));
+        prop_assert!(out.affected_after >= 0.0);
+    }
+}
