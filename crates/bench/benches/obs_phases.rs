@@ -1,0 +1,99 @@
+//! Observability bench — per-phase wall times of the instrumented
+//! simulation, plus the overhead of instrumentation itself.
+//!
+//! Runs the shrunk experiment `RUNS` times with a live metrics registry to
+//! populate the `span.phase.*.ns` histograms, times the same workload with
+//! observability disabled, and writes `results/BENCH_obs.json` with
+//! per-phase p50/p90/p99 and the disabled-vs-observed totals. The
+//! acceptance bar is that the observed/disabled ratio stays within noise
+//! (the registry adds a handful of relaxed atomic ops per probe).
+
+use secloc_bench::{banner, results_dir};
+use secloc_obs::{MetricsRegistry, Obs};
+use secloc_sim::report::PHASE_NAMES;
+use secloc_sim::{Experiment, SimConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const RUNS: u64 = 10;
+
+fn config() -> SimConfig {
+    SimConfig {
+        nodes: 300,
+        beacons: 30,
+        malicious: 3,
+        attacker_p: 0.3,
+        ..SimConfig::paper_default()
+    }
+}
+
+fn main() {
+    banner(
+        "BENCH obs",
+        "per-phase wall time and instrumentation overhead (10 seeded runs)",
+    );
+
+    // Baseline: observability fully disabled (the default path).
+    let disabled = Obs::disabled();
+    let start = Instant::now();
+    for seed in 0..RUNS {
+        let _ = Experiment::new_observed(config(), seed, &disabled).run_observed(&disabled);
+    }
+    let disabled_ns = start.elapsed().as_nanos() as u64;
+
+    // Instrumented: metrics registry attached, no event sink.
+    let registry = Arc::new(MetricsRegistry::new());
+    let telemetry = Obs::with_metrics(registry.clone());
+    let start = Instant::now();
+    for seed in 0..RUNS {
+        let _ = Experiment::new_observed(config(), seed, &telemetry).run_observed(&telemetry);
+    }
+    let observed_ns = start.elapsed().as_nanos() as u64;
+
+    let overhead = observed_ns as f64 / disabled_ns as f64;
+    println!("  disabled: {:>12} ns for {RUNS} runs", disabled_ns);
+    println!("  observed: {:>12} ns for {RUNS} runs", observed_ns);
+    println!("  ratio:    {overhead:.3}");
+
+    // Hand-rolled JSON: the bench crate is as dependency-free as the rest.
+    let snapshot = registry.snapshot();
+    let mut json = String::from("{\n  \"bench\": \"obs_phases\",\n");
+    let _ = writeln!(json, "  \"runs\": {RUNS},");
+    let _ = writeln!(json, "  \"disabled_total_ns\": {disabled_ns},");
+    let _ = writeln!(json, "  \"observed_total_ns\": {observed_ns},");
+    let _ = writeln!(json, "  \"overhead_ratio\": {overhead:.4},");
+    json.push_str("  \"phases\": {\n");
+    let mut first = true;
+    for name in PHASE_NAMES {
+        let Some(h) = snapshot.histogram(&format!("span.phase.{name}.ns")) else {
+            continue;
+        };
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let (p50, p90, p99) = h.p50_p90_p99();
+        let _ = write!(
+            json,
+            "    \"{name}\": {{\"runs\": {}, \"total_ns\": {:.0}, \"mean_ns\": {:.0}, \
+             \"p50_ns\": {:.0}, \"p90_ns\": {:.0}, \"p99_ns\": {:.0}}}",
+            h.count,
+            h.sum,
+            h.mean(),
+            p50,
+            p90,
+            p99
+        );
+        println!(
+            "  {name:<16} mean {:>10.1} us  p99 {:>10.1} us",
+            h.mean() / 1e3,
+            p99 / 1e3
+        );
+    }
+    json.push_str("\n  }\n}\n");
+
+    let path = secloc_obs::output::write_text(results_dir(), "BENCH_obs.json", &json)
+        .expect("write BENCH_obs.json");
+    println!("\n  wrote {}", path.display());
+}

@@ -97,18 +97,18 @@ impl Table {
         }
     }
 
-    /// Writes the table as CSV into `results/<name>.csv` and reports the
-    /// path on stdout.
+    /// Writes the table as CSV into `results/<name>.csv` (through the
+    /// shared RFC 4180 writer in `secloc-obs`) and reports the path on
+    /// stdout.
     pub fn write_csv(&self, name: &str) {
-        let path = results_dir().join(format!("{name}.csv"));
-        let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        fs::write(&path, out).expect("write csv");
+        let header: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        let path = secloc_obs::output::write_csv(
+            results_dir(),
+            &format!("{name}.csv"),
+            &header,
+            &self.rows,
+        )
+        .expect("write csv");
         println!("  [csv] {}", path.display());
     }
 }
@@ -136,6 +136,16 @@ mod tests {
         let written = fs::read_to_string(results_dir().join("_test_table.csv")).unwrap();
         assert_eq!(written, "a,b\n1,2\n3,4\n");
         fs::remove_file(results_dir().join("_test_table.csv")).unwrap();
+    }
+
+    #[test]
+    fn table_csv_quotes_embedded_commas() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a,b", "2"]);
+        t.write_csv("_test_table_quoted");
+        let path = results_dir().join("_test_table_quoted.csv");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "k,v\n\"a,b\",2\n");
+        fs::remove_file(path).unwrap();
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod pipeline;
 pub mod protocol;
 mod revocation;
 mod rtt;
+mod telemetry;
 mod wormhole_detector;
 mod wormhole_filter;
 
@@ -59,6 +60,7 @@ pub use detector::{SignalDetector, SignalVerdict};
 pub use pipeline::{DetectionOutcome, DetectionPipeline, Observation};
 pub use revocation::{AlertOutcome, BaseStation, RevocationConfig};
 pub use rtt::{rtt_from_timestamps, LocalReplayVerdict, RttFilter};
+pub use telemetry::{AlertMetrics, PipelineMetrics};
 pub use wormhole_detector::{
     FixedRateDetector, GeographicLeash, LeashContext, TemporalLeash, WormholeDetector,
 };

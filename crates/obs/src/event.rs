@@ -1,0 +1,258 @@
+//! Structured events and pluggable sinks.
+//!
+//! An [`Event`] is a kind plus ordered key/value fields; sinks decide where
+//! it lands. [`JsonlSink`] appends one JSON object per line to a file (the
+//! format every `results/` consumer in this workspace reads), while
+//! [`MemorySink`] buffers events for test assertions.
+
+use crate::json::{push_json_f64, push_json_string};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A single typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values serialize as `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (JSON-escaped on serialization).
+    Str(String),
+}
+
+impl Value {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => push_json_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(v) => push_json_string(out, v),
+        }
+    }
+}
+
+/// A structured event: a kind, a sequence number and ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What happened, e.g. `"alert.accepted"` or `"phase"`.
+    pub kind: String,
+    /// Monotonic per-process sequence number, assigned at construction.
+    pub seq: u64,
+    /// Ordered field name/value pairs.
+    pub fields: Vec<(String, Value)>,
+}
+
+static EVENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Event {
+    /// A new event with the next process-wide sequence number.
+    pub fn new(kind: &str, fields: &[(&str, Value)]) -> Self {
+        Event {
+            kind: kind.to_string(),
+            seq: EVENT_SEQ.fetch_add(1, Ordering::Relaxed),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// The value of field `name`, if present.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Serializes the event as a single-line JSON object
+    /// (`{"kind":...,"seq":...,<fields>}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        out.push_str("{\"kind\":");
+        push_json_string(&mut out, &self.kind);
+        out.push_str(",\"seq\":");
+        out.push_str(&self.seq.to_string());
+        for (key, value) in &self.fields {
+            out.push(',');
+            push_json_string(&mut out, key);
+            out.push(':');
+            value.push_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Where events go. Implementations must be cheap enough for hot paths or
+/// buffer internally.
+pub trait EventSink {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+    /// Flushes buffered events to their destination. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Appends one JSON object per line to a file (JSON Lines).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // I/O errors on telemetry must not take down the instrumented run.
+        let _ = writeln!(writer, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Buffers events in memory for test assertions.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// All events seen so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// The kinds of all events seen so far, in emission order.
+    pub fn kinds(&self) -> Vec<String> {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .map(|e| e.kind.clone())
+            .collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether no events were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all buffered events.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_serializes_all_value_types() {
+        let e = Event::new(
+            "verdict",
+            &[
+                ("node", Value::U64(7)),
+                ("delta", Value::I64(-3)),
+                ("score", Value::F64(0.5)),
+                ("malicious", Value::Bool(true)),
+                ("note", Value::Str("line\n\"two\"".to_string())),
+            ],
+        );
+        let json = e.to_json();
+        assert!(json.starts_with("{\"kind\":\"verdict\",\"seq\":"));
+        assert!(json.contains("\"node\":7"));
+        assert!(json.contains("\"delta\":-3"));
+        assert!(json.contains("\"score\":0.5"));
+        assert!(json.contains("\"malicious\":true"));
+        assert!(json.contains("\"note\":\"line\\n\\\"two\\\"\""));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let a = Event::new("a", &[]);
+        let b = Event::new("b", &[]);
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = Event::new("k", &[("x", Value::U64(1))]);
+        assert_eq!(e.field("x"), Some(&Value::U64(1)));
+        assert_eq!(e.field("y"), None);
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        sink.emit(&Event::new("first", &[]));
+        sink.emit(&Event::new("second", &[]));
+        assert_eq!(sink.kinds(), vec!["first", "second"]);
+        assert_eq!(sink.len(), 2);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("secloc-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.emit(&Event::new("one", &[("s", Value::Str("a\"b".into()))]));
+            sink.emit(&Event::new("two", &[]));
+        } // drop flushes
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"one\""));
+        assert!(lines[0].contains("\\\"b"));
+        assert!(lines[1].contains("\"kind\":\"two\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

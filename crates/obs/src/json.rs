@@ -1,0 +1,79 @@
+//! Hand-rolled JSON string escaping (no serde in the workspace).
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted JSON string, escaping control
+/// characters, quotes and backslashes per RFC 8259.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `value` to `out` as a JSON number. Non-finite floats, which JSON
+/// cannot represent, are emitted as `null`.
+pub(crate) fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        push_json_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escaped("hello"), "\"hello\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escape() {
+        assert_eq!(escaped("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(escaped("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+        assert_eq!(escaped("\u{08}\u{0C}"), "\"\\b\\f\"");
+        assert_eq!(escaped("\u{01}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        assert_eq!(escaped("τ′ → β"), "\"τ′ → β\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_json_f64(&mut out, f64::INFINITY);
+        out.push(',');
+        push_json_f64(&mut out, 1.5);
+        assert_eq!(out, "null,null,1.5");
+    }
+}

@@ -1,0 +1,235 @@
+//! Zero-dependency telemetry for the secloc workspace.
+//!
+//! The paper's claims are rates measured over noisy pipelines — detection
+//! rate, false positives, N′ — and tuning them at production scale needs
+//! visibility *inside* a run, not just the end-of-run outcome. This crate
+//! supplies that visibility with three building blocks, none of which pull
+//! in external dependencies (the build environment is offline):
+//!
+//! - [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s (with p50/p90/p99 estimation) behind cheap cloneable
+//!   handles, safe to update from hot paths;
+//! - [`Span`] / [`Stopwatch`] — wall-clock phase timing that lands in
+//!   histograms and events;
+//! - [`EventSink`] — structured event export, with a JSONL file sink
+//!   ([`JsonlSink`]), an in-memory sink for tests ([`MemorySink`]), and
+//!   hand-rolled JSON escaping (no serde).
+//!
+//! The [`Obs`] facade bundles an optional registry with an optional sink so
+//! instrumented code pays almost nothing when observability is off:
+//!
+//! ```
+//! use secloc_obs::{MemorySink, MetricsRegistry, Obs, Value};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! let sink = Arc::new(MemorySink::new());
+//! let obs = Obs::new(Some(registry.clone()), Some(sink.clone()));
+//!
+//! obs.incr("demo.widgets");
+//! obs.emit("demo", &[("widgets", Value::U64(1))]);
+//!
+//! assert_eq!(registry.snapshot().counter("demo.widgets"), Some(1));
+//! assert_eq!(sink.kinds(), vec!["demo".to_string()]);
+//!
+//! // Disabled observability is a couple of `Option` checks per call.
+//! let off = Obs::disabled();
+//! off.incr("demo.widgets"); // no-op
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod metrics;
+pub mod output;
+mod span;
+
+pub use event::{Event, EventSink, JsonlSink, MemorySink, Value};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
+pub use span::{Span, Stopwatch};
+
+use std::sync::Arc;
+
+/// The observability facade handed through instrumented code paths.
+///
+/// Holds an optional [`MetricsRegistry`] and an optional [`EventSink`];
+/// every method is a no-op (an `Option` check) when the corresponding half
+/// is absent, so uninstrumented callers pass [`Obs::disabled`] and pay
+/// near-zero cost.
+#[derive(Clone, Default)]
+pub struct Obs {
+    metrics: Option<Arc<MetricsRegistry>>,
+    sink: Option<Arc<dyn EventSink + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("metrics", &self.metrics.is_some())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// Observability with both halves attached (either may be `None`).
+    pub fn new(
+        metrics: Option<Arc<MetricsRegistry>>,
+        sink: Option<Arc<dyn EventSink + Send + Sync>>,
+    ) -> Self {
+        Obs { metrics, sink }
+    }
+
+    /// The no-op facade: all methods return immediately.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Metrics only.
+    pub fn with_metrics(metrics: Arc<MetricsRegistry>) -> Self {
+        Obs {
+            metrics: Some(metrics),
+            sink: None,
+        }
+    }
+
+    /// Events only.
+    pub fn with_sink(sink: Arc<dyn EventSink + Send + Sync>) -> Self {
+        Obs {
+            metrics: None,
+            sink: Some(sink),
+        }
+    }
+
+    /// Whether any half is attached.
+    pub fn enabled(&self) -> bool {
+        self.metrics.is_some() || self.sink.is_some()
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.counter(name).incr();
+        }
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.counter(name).add(n);
+        }
+    }
+
+    /// Records `value` into the named histogram (default time buckets).
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(m) = &self.metrics {
+            m.histogram(name, Histogram::DEFAULT_TIME_BOUNDS_NS)
+                .observe(value);
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        if let Some(m) = &self.metrics {
+            m.gauge(name).set(value);
+        }
+    }
+
+    /// Emits a structured event when a sink is attached.
+    pub fn emit(&self, kind: &str, fields: &[(&str, Value)]) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&Event::new(kind, fields));
+        }
+    }
+
+    /// Starts a named span: on [`Span::finish`] (or drop) the elapsed time
+    /// lands in histogram `span.<name>.ns` and a `span` event is emitted.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span::enter(self, name)
+    }
+
+    pub(crate) fn record_span(&self, name: &str, nanos: u64) {
+        if let Some(m) = &self.metrics {
+            m.histogram(
+                &format!("span.{name}.ns"),
+                Histogram::DEFAULT_TIME_BOUNDS_NS,
+            )
+            .observe(nanos as f64);
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit(&Event::new(
+                "span",
+                &[
+                    ("name", Value::Str(name.to_string())),
+                    ("nanos", Value::U64(nanos)),
+                ],
+            ));
+        }
+    }
+
+    /// Flushes the sink, if one is attached.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        obs.incr("a");
+        obs.add("a", 5);
+        obs.observe("h", 1.0);
+        obs.set_gauge("g", 3);
+        obs.emit("kind", &[]);
+        obs.flush();
+        let span = obs.span("phase");
+        span.finish();
+    }
+
+    #[test]
+    fn facade_routes_to_registry_and_sink() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(Some(registry.clone()), Some(sink.clone()));
+        assert!(obs.enabled());
+        obs.incr("c");
+        obs.add("c", 2);
+        obs.set_gauge("g", -4);
+        obs.observe("h", 123.0);
+        obs.emit("evt", &[("x", Value::I64(-1))]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("c"), Some(3));
+        assert_eq!(snap.gauge("g"), Some(-4));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        assert_eq!(sink.kinds(), vec!["evt".to_string()]);
+    }
+
+    #[test]
+    fn span_records_histogram_and_event() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(Some(registry.clone()), Some(sink.clone()));
+        obs.span("work").finish();
+        {
+            let _implicit = obs.span("dropped");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("span.work.ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("span.dropped.ns").unwrap().count, 1);
+        assert_eq!(sink.kinds(), vec!["span".to_string(), "span".to_string()]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Wall-clock phase timing.
+
+use crate::Obs;
+use std::time::Instant;
+
+/// A plain wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed nanoseconds since start (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// A timing guard tied to an [`Obs`]: created by [`Obs::span`], it records
+/// its elapsed time — into histogram `span.<name>.ns` and as a `span` event —
+/// when finished or dropped.
+#[derive(Debug)]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    name: String,
+    watch: Stopwatch,
+    done: bool,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn enter(obs: &'a Obs, name: &str) -> Self {
+        Span {
+            obs,
+            name: name.to_string(),
+            watch: Stopwatch::start(),
+            done: false,
+        }
+    }
+
+    /// Elapsed nanoseconds so far, without ending the span.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.watch.elapsed_ns()
+    }
+
+    /// Ends the span, recording its duration, and returns elapsed nanos.
+    pub fn finish(mut self) -> u64 {
+        self.done = true;
+        let nanos = self.watch.elapsed_ns();
+        self.obs.record_span(&self.name, nanos);
+        nanos
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.obs.record_span(&self.name, self.watch.elapsed_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_advances() {
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(w.elapsed_ns() >= 1_000_000);
+    }
+
+    #[test]
+    fn finish_records_exactly_once() {
+        use crate::{MemorySink, Obs};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let span = obs.span("once");
+        let nanos = span.finish();
+        assert!(nanos > 0);
+        assert_eq!(sink.len(), 1, "finish must not double-record on drop");
+    }
+}

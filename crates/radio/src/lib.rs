@@ -38,10 +38,12 @@ pub mod loss;
 pub mod mac;
 pub mod medium;
 pub mod ranging;
+pub mod telemetry;
 mod time;
 pub mod timing;
 pub mod wire;
 
 pub use event::EventQueue;
 pub use frame::{BeaconPayload, Frame, FrameBody, FrameError, RequestPayload};
+pub use telemetry::RadioMetrics;
 pub use time::{Cycles, CPU_HZ, CYCLES_PER_BIT, SPEED_OF_LIGHT_FT_S};

@@ -7,7 +7,8 @@
 //! events suitable for an [`crate::EventQueue`].
 
 use crate::loss::{BernoulliLoss, LossModel};
-use crate::{Cycles, Frame};
+use crate::telemetry::RadioMetrics;
+use crate::{Cycles, Frame, FrameBody};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secloc_geometry::Point2;
@@ -75,6 +76,7 @@ pub struct Medium {
     loss: BernoulliLoss,
     taps: Vec<Tap>,
     rng: StdRng,
+    metrics: Option<RadioMetrics>,
 }
 
 impl Medium {
@@ -95,7 +97,14 @@ impl Medium {
             loss: BernoulliLoss::new(loss_rate),
             taps: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            metrics: None,
         }
+    }
+
+    /// Attaches traffic counters; every subsequent [`Medium::transmit`]
+    /// records frames sent, delivered, dropped and tap-replayed.
+    pub fn attach_metrics(&mut self, metrics: RadioMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Installs an attacker tap (wormhole end or local replayer).
@@ -133,6 +142,12 @@ impl Medium {
         let src = self.positions[sender];
         let airtime = frame.transmission_time();
         let mut out = Vec::new();
+        if let Some(m) = &self.metrics {
+            m.frames_sent.incr();
+            if matches!(frame.peek_body(), FrameBody::Request(_)) {
+                m.ranging_requests.incr();
+            }
+        }
 
         // Direct deliveries.
         for (i, &pos) in self.positions.iter().enumerate() {
@@ -140,7 +155,18 @@ impl Medium {
                 continue;
             }
             let d = src.distance(pos);
-            if d > self.range_ft || self.loss.is_lost(&mut self.rng) {
+            // The range check must stay ahead of the loss draw so that
+            // attaching metrics never changes the RNG stream.
+            if d > self.range_ft {
+                if let Some(m) = &self.metrics {
+                    m.frames_dropped_range.incr();
+                }
+                continue;
+            }
+            if self.loss.is_lost(&mut self.rng) {
+                if let Some(m) = &self.metrics {
+                    m.frames_dropped_loss.incr();
+                }
                 continue;
             }
             let prop = Cycles::new(Cycles::propagation_fractional(d).round() as u64);
@@ -168,7 +194,16 @@ impl Medium {
                     continue;
                 }
                 let d = tap.replay_from.distance(pos);
-                if d > self.range_ft || self.loss.is_lost(&mut self.rng) {
+                if d > self.range_ft {
+                    if let Some(m) = &self.metrics {
+                        m.frames_dropped_range.incr();
+                    }
+                    continue;
+                }
+                if self.loss.is_lost(&mut self.rng) {
+                    if let Some(m) = &self.metrics {
+                        m.frames_dropped_loss.incr();
+                    }
                     continue;
                 }
                 let prop = Cycles::new(Cycles::propagation_fractional(d).round() as u64);
@@ -181,6 +216,11 @@ impl Medium {
             }
         }
 
+        if let Some(m) = &self.metrics {
+            m.frames_delivered.add(out.len() as u64);
+            m.frames_tap_replayed
+                .add(out.iter().filter(|d| d.via_tap).count() as u64);
+        }
         out.sort_by_key(|d| (d.at, d.receiver));
         out
     }
@@ -350,5 +390,56 @@ mod tests {
         let m = Medium::new(vec![], 10.0, 0.0, 0);
         assert!(m.is_empty());
         assert_eq!(line_medium(0.0).len(), 4);
+    }
+
+    #[test]
+    fn metrics_count_traffic() {
+        use secloc_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let mut m = line_medium(0.0);
+        m.add_tap(Tap {
+            capture_at: Point2::new(0.0, 0.0),
+            capture_range: 50.0,
+            replay_from: Point2::new(900.0, 0.0),
+            extra_delay: Cycles::ZERO,
+        });
+        m.attach_metrics(RadioMetrics::new(&registry));
+        let f = request_frame(0, 3);
+        let deliveries = m.transmit(0, &f, Cycles::ZERO);
+        let s = registry.snapshot();
+        assert_eq!(s.counter("radio.frames.sent"), Some(1));
+        assert_eq!(s.counter("radio.ranging.requests"), Some(1));
+        assert_eq!(
+            s.counter("radio.frames.delivered"),
+            Some(deliveries.len() as u64)
+        );
+        let tapped = deliveries.iter().filter(|d| d.via_tap).count() as u64;
+        assert_eq!(s.counter("radio.frames.tap_replayed"), Some(tapped));
+        // Lossless medium: every non-delivery was a range drop.
+        assert!(s.counter("radio.frames.dropped_range").unwrap() > 0);
+        assert_eq!(s.counter("radio.frames.dropped_loss"), Some(0));
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_rng_stream() {
+        // Attaching metrics must not change what gets delivered: the loss
+        // draws have to happen in exactly the same order.
+        let f = request_frame(1, 0);
+        let run = |instrument: bool| -> Vec<Vec<usize>> {
+            let mut m = line_medium(0.4);
+            if instrument {
+                let registry = secloc_obs::MetricsRegistry::new();
+                m.attach_metrics(RadioMetrics::new(&registry));
+            }
+            (0..50)
+                .map(|_| {
+                    m.transmit(1, &f, Cycles::ZERO)
+                        .iter()
+                        .map(|d| d.receiver)
+                        .collect()
+                })
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

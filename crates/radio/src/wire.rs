@@ -100,7 +100,9 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::UnsupportedVersion(bytes[2]));
     }
     let src = NodeId(u32::from_le_bytes(bytes[3..7].try_into().expect("4 bytes")));
-    let dst = NodeId(u32::from_le_bytes(bytes[7..11].try_into().expect("4 bytes")));
+    let dst = NodeId(u32::from_le_bytes(
+        bytes[7..11].try_into().expect("4 bytes"),
+    ));
     let body_len = u16::from_le_bytes(bytes[11..13].try_into().expect("2 bytes")) as usize;
     let expected_total = 13 + body_len + 8;
     if bytes.len() < expected_total {

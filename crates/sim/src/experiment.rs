@@ -7,9 +7,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use secloc_attack::{Action, CollusionPolicy};
-use secloc_core::{Alert, BaseStation, RevocationConfig};
+use secloc_core::{Alert, AlertMetrics, BaseStation, RevocationConfig};
 use secloc_crypto::NodeId;
 use secloc_localization::{Estimator, LocationReference, MmseEstimator};
+use secloc_obs::{Obs, Value};
 use secloc_radio::loss::{send_reliable, BernoulliLoss};
 use secloc_radio::{Cycles, EventQueue};
 
@@ -50,6 +51,16 @@ impl Experiment {
         }
     }
 
+    /// Like [`Experiment::new`], but times deployment generation under the
+    /// `phase.deploy` span and announces the phase on the event sink.
+    pub fn new_observed(config: SimConfig, seed: u64, telemetry: &Obs) -> Self {
+        telemetry.emit("phase", &[("name", Value::Str("deploy".to_string()))]);
+        let span = telemetry.span("phase.deploy");
+        let deployment = Deployment::generate(config, seed);
+        span.finish();
+        Experiment { deployment, seed }
+    }
+
     /// The underlying deployment (for inspection and plotting).
     pub fn deployment(&self) -> &Deployment {
         &self.deployment
@@ -63,14 +74,36 @@ impl Experiment {
     /// Like [`Experiment::run`], but also returns the ordered audit
     /// [`Trace`] of the revocation phase.
     pub fn run_traced(&self) -> (SimOutcome, Trace) {
+        self.run_observed(&Obs::disabled())
+    }
+
+    /// Runs all four phases with telemetry: per-phase wall-time spans
+    /// (`phase.{detection,location,alert_delivery,revocation,impact}`),
+    /// verdict/alert counters, `phase` / `revocation` / `round.snapshot`
+    /// events, and a final `run.end` marker. With [`Obs::disabled`] this is
+    /// exactly [`Experiment::run_traced`] — the instrumentation consumes no
+    /// randomness, so observed and unobserved runs produce identical
+    /// outcomes.
+    pub fn run_observed(&self, telemetry: &Obs) -> (SimOutcome, Trace) {
         let mut trace = Trace::new();
         let d = &self.deployment;
         let cfg = d.config();
-        let ctx = ProbeContext::new(d);
+        let ctx = ProbeContext::with_obs(d, telemetry);
         let mut probe_rng = StdRng::seed_from_u64(subseed(self.seed, b"probe"));
         let mut order_rng = StdRng::seed_from_u64(subseed(self.seed, b"order"));
+        telemetry.emit(
+            "run.start",
+            &[
+                ("seed", Value::U64(self.seed)),
+                ("nodes", Value::U64(cfg.nodes as u64)),
+                ("beacons", Value::U64(cfg.beacons as u64)),
+                ("malicious", Value::U64(cfg.malicious as u64)),
+            ],
+        );
 
         // ---- Phase 1: detection probes by benign beacons. -------------
+        telemetry.emit("phase", &[("name", Value::Str("detection".to_string()))]);
+        let detection_span = telemetry.span("phase.detection");
         let detectors = d.beacons_of_kind(NodeKind::BenignBeacon);
         let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
         for &u in &detectors {
@@ -91,8 +124,12 @@ impl Experiment {
                 }
             }
         }
+        telemetry.add("detect.alerts_raised", benign_alerts.len() as u64);
+        detection_span.finish();
 
         // ---- Phase 2: location discovery by sensors. ------------------
+        telemetry.emit("phase", &[("name", Value::Str("location".to_string()))]);
+        let location_span = telemetry.span("phase.location");
         let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
         for w in d.sensors() {
             for v in self.audible_beacons(w) {
@@ -120,20 +157,33 @@ impl Experiment {
                 poisoned[v as usize].push(w);
             }
         }
+        telemetry.add(
+            "location.references_kept",
+            kept.iter().map(|k| k.len() as u64).sum(),
+        );
+        telemetry.add(
+            "location.sensors_poisoned",
+            poisoned.iter().map(|p| p.len() as u64).sum(),
+        );
+        location_span.finish();
 
-        // ---- Phase 3: revocation at the base station. ------------------
+        // ---- Phase 3a: alert delivery over the lossy report channel. ---
         // Alerts cross a lossy multi-hop path; the paper assumes
         // retransmission makes delivery effectively reliable, which the
-        // loss model + retransmission budget discharge explicitly.
+        // loss model + retransmission budget discharge explicitly. The
+        // delivery draws happen here, alert by alert in submission order,
+        // exactly as before the phase split.
+        telemetry.emit(
+            "phase",
+            &[("name", Value::Str("alert_delivery".to_string()))],
+        );
+        let delivery_span = telemetry.span("phase.alert_delivery");
         let mut alert_loss = BernoulliLoss::new(cfg.alert_loss_rate);
         let mut loss_rng = StdRng::seed_from_u64(subseed(self.seed, b"alert-loss"));
         let delivered = |rng: &mut StdRng, loss: &mut BernoulliLoss| {
             send_reliable(loss, cfg.alert_retransmissions, rng).delivered
         };
-        let mut station = BaseStation::new(RevocationConfig {
-            tau: cfg.tau,
-            tau_prime: cfg.tau_prime,
-        });
+        let mut submissions: Vec<(Alert, AlertSource, bool)> = Vec::new();
         let mut collusion_alerts = 0usize;
         if cfg.collusion && cfg.malicious > 0 {
             let colluders: Vec<NodeId> = d
@@ -146,12 +196,7 @@ impl Experiment {
             let policy = CollusionPolicy::new(cfg.tau, cfg.tau_prime);
             for (reporter, target) in policy.alerts(&colluders, &victims) {
                 let ok = delivered(&mut loss_rng, &mut alert_loss);
-                let outcome = if ok {
-                    station.process(Alert::new(reporter, target))
-                } else {
-                    secloc_core::AlertOutcome::Accepted // hypothetical; not counted
-                };
-                trace.record(reporter, target, AlertSource::Collusion, outcome, ok);
+                submissions.push((Alert::new(reporter, target), AlertSource::Collusion, ok));
                 collusion_alerts += 1;
             }
         }
@@ -159,21 +204,61 @@ impl Experiment {
         let benign_alert_count = benign_alerts.len();
         for alert in benign_alerts {
             let ok = delivered(&mut loss_rng, &mut alert_loss);
+            submissions.push((alert, AlertSource::Detection, ok));
+        }
+        telemetry.add("alerts.sent.collusion", collusion_alerts as u64);
+        telemetry.add("alerts.sent.detection", benign_alert_count as u64);
+        telemetry.add(
+            "alerts.dropped_in_transit",
+            submissions.iter().filter(|(_, _, ok)| !ok).count() as u64,
+        );
+        delivery_span.finish();
+
+        // ---- Phase 3b: revocation at the base station. -----------------
+        telemetry.emit("phase", &[("name", Value::Str("revocation".to_string()))]);
+        let revocation_span = telemetry.span("phase.revocation");
+        let alert_metrics = telemetry.metrics().map(|r| AlertMetrics::new(r));
+        let mut station = BaseStation::new(RevocationConfig {
+            tau: cfg.tau,
+            tau_prime: cfg.tau_prime,
+        });
+        for (alert, source, ok) in submissions {
             let outcome = if ok {
                 station.process(alert)
             } else {
-                secloc_core::AlertOutcome::Accepted
+                secloc_core::AlertOutcome::Accepted // hypothetical; not counted
             };
-            trace.record(
-                alert.reporter,
-                alert.target,
-                AlertSource::Detection,
-                outcome,
-                ok,
-            );
+            if ok {
+                if let Some(m) = &alert_metrics {
+                    m.record(outcome);
+                }
+                if outcome == secloc_core::AlertOutcome::AcceptedAndRevoked {
+                    telemetry.emit(
+                        "revocation",
+                        &[
+                            ("target", Value::U64(alert.target.0 as u64)),
+                            ("reporter", Value::U64(alert.reporter.0 as u64)),
+                            (
+                                "source",
+                                Value::Str(
+                                    match source {
+                                        AlertSource::Detection => "detection",
+                                        AlertSource::Collusion => "collusion",
+                                    }
+                                    .to_string(),
+                                ),
+                            ),
+                        ],
+                    );
+                }
+            }
+            trace.record(alert.reporter, alert.target, source, outcome, ok);
         }
+        revocation_span.finish();
 
         // ---- Phase 4: impact metrics. ----------------------------------
+        telemetry.emit("phase", &[("name", Value::Str("impact".to_string()))]);
+        let impact_span = telemetry.span("phase.impact");
         let malicious = d.beacons_of_kind(NodeKind::MaliciousBeacon);
         let benign = detectors;
         let revoked_malicious = malicious
@@ -240,6 +325,33 @@ impl Experiment {
             mean_loc_error_before_ft: mean_error(false),
             mean_loc_error_after_ft: mean_error(true),
         };
+        impact_span.finish();
+        telemetry.set_gauge("sim.revoked_malicious", outcome.revoked_malicious as i64);
+        telemetry.set_gauge("sim.revoked_benign", outcome.revoked_benign as i64);
+        telemetry.emit(
+            "round.snapshot",
+            &[
+                ("seed", Value::U64(self.seed)),
+                (
+                    "revoked_malicious",
+                    Value::U64(outcome.revoked_malicious as u64),
+                ),
+                ("revoked_benign", Value::U64(outcome.revoked_benign as u64)),
+                ("benign_alerts", Value::U64(outcome.benign_alerts as u64)),
+                (
+                    "collusion_alerts",
+                    Value::U64(outcome.collusion_alerts as u64),
+                ),
+                ("detection_rate", Value::F64(outcome.detection_rate())),
+                (
+                    "false_positive_rate",
+                    Value::F64(outcome.false_positive_rate()),
+                ),
+                ("affected_after", Value::F64(outcome.affected_after)),
+            ],
+        );
+        telemetry.emit("run.end", &[("seed", Value::U64(self.seed))]);
+        telemetry.flush();
         (outcome, trace)
     }
 

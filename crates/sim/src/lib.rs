@@ -40,6 +40,7 @@ pub mod distributed;
 mod experiment;
 mod metrics;
 mod probe;
+pub mod report;
 pub mod sweep;
 pub mod trace;
 
@@ -48,3 +49,4 @@ pub use deploy::{Deployment, NodeKind};
 pub use experiment::Experiment;
 pub use metrics::{average_outcomes, AggregateOutcome, SimOutcome};
 pub use probe::{ProbeContext, ProbeResult};
+pub use report::RunReport;

@@ -3,12 +3,21 @@
 use crate::{Deployment, NodeKind};
 use rand::rngs::StdRng;
 use secloc_attack::Action;
-use secloc_core::{DetectionOutcome, DetectionPipeline, Observation};
+use secloc_core::{DetectionOutcome, DetectionPipeline, Observation, PipelineMetrics};
 use secloc_crypto::NodeId;
 use secloc_geometry::Point2;
+use secloc_obs::{Counter, Obs};
 use secloc_radio::ranging::{BoundedRanging, Ranging};
 use secloc_radio::timing::RttModel;
 use secloc_radio::Cycles;
+
+/// Counters resolved once per context; recording is an atomic add.
+#[derive(Debug)]
+struct ProbeTelemetry {
+    pipeline: PipelineMetrics,
+    exchanges: Counter,
+    no_signal: Counter,
+}
 
 /// The shared machinery for running probes against one deployment.
 #[derive(Debug)]
@@ -18,6 +27,7 @@ pub struct ProbeContext<'a> {
     ranging: BoundedRanging,
     rtt_model: RttModel,
     wormhole_detector_seed: u64,
+    telemetry: Option<ProbeTelemetry>,
 }
 
 /// Everything produced by one exchange.
@@ -51,7 +61,22 @@ impl<'a> ProbeContext<'a> {
             ranging: BoundedRanging::new(cfg.max_ranging_error_ft),
             rtt_model: RttModel::paper_default(),
             wormhole_detector_seed: crate::deploy::subseed(deployment.seed(), b"wormhole-detector"),
+            telemetry: None,
         }
+    }
+
+    /// Like [`ProbeContext::new`], but with probe/verdict counters resolved
+    /// from `telemetry` (a no-op when it carries no registry). Counter
+    /// names: `probe.exchanges`, `probe.no_signal`, and the
+    /// [`PipelineMetrics`] family.
+    pub fn with_obs(deployment: &'a Deployment, telemetry: &Obs) -> Self {
+        let mut ctx = Self::new(deployment);
+        ctx.telemetry = telemetry.metrics().map(|registry| ProbeTelemetry {
+            pipeline: PipelineMetrics::new(registry),
+            exchanges: registry.counter("probe.exchanges"),
+            no_signal: registry.counter("probe.no_signal"),
+        });
+        ctx
     }
 
     /// The wormhole detector's verdict for the link `requester -> target`.
@@ -85,6 +110,23 @@ impl<'a> ProbeContext<'a> {
     /// via the wormhole — §4: "a malicious beacon node only contacts the
     /// nodes within its communication range").
     pub fn probe(
+        &self,
+        requester: u32,
+        requester_wire_id: NodeId,
+        target: u32,
+        rng: &mut StdRng,
+    ) -> Option<ProbeResult> {
+        let result = self.probe_inner(requester, requester_wire_id, target, rng);
+        if let Some(t) = &self.telemetry {
+            match result {
+                Some(_) => t.exchanges.incr(),
+                None => t.no_signal.incr(),
+            }
+        }
+        result
+    }
+
+    fn probe_inner(
         &self,
         requester: u32,
         requester_wire_id: NodeId,
@@ -125,10 +167,16 @@ impl<'a> ProbeContext<'a> {
         action: Option<Action>,
         via_wormhole: bool,
     ) -> ProbeResult {
+        let outcome = self.pipeline.evaluate(&observation);
+        let accepted_for_localization = self.pipeline.accepts_for_localization(&observation);
+        if let Some(t) = &self.telemetry {
+            t.pipeline.record_verdict(outcome);
+            t.pipeline.record_localization(accepted_for_localization);
+        }
         ProbeResult {
             observation,
-            outcome: self.pipeline.evaluate(&observation),
-            accepted_for_localization: self.pipeline.accepts_for_localization(&observation),
+            outcome,
+            accepted_for_localization,
             action,
             via_wormhole,
         }

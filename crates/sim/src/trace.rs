@@ -40,16 +40,44 @@ pub struct AlertRecord {
 }
 
 /// The full audit of one run's revocation phase.
+///
+/// By default every alert is retained. Long-lived or very large runs can
+/// bound memory with [`Trace::with_cap`], which turns the record store
+/// into a ring-buffer-like window over the most recent alerts: when the
+/// cap is exceeded, the oldest half of the window is dropped in one block
+/// (amortised O(1) per alert, and `records()` stays a contiguous slice).
+/// Sequence numbers are absolute arrival indices, so they stay meaningful
+/// after eviction; revocations are always retained in full (bounded by the
+/// beacon count, not the alert count).
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     records: Vec<AlertRecord>,
     revocation_sequence: Vec<(usize, NodeId)>,
+    /// Retain at most this many records (`None` = unbounded).
+    cap: Option<usize>,
+    /// Absolute arrival index of the next alert.
+    next_sequence: usize,
+    /// Records evicted to honour the cap.
+    dropped: usize,
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty unbounded trace.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// Creates a trace retaining at most `cap` alert records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero.
+    pub fn with_cap(cap: usize) -> Self {
+        assert!(cap > 0, "trace cap must be at least 1");
+        Trace {
+            cap: Some(cap),
+            ..Trace::default()
+        }
     }
 
     pub(crate) fn record(
@@ -60,7 +88,8 @@ impl Trace {
         outcome: AlertOutcome,
         delivered: bool,
     ) {
-        let sequence = self.records.len();
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
         if outcome == AlertOutcome::AcceptedAndRevoked {
             self.revocation_sequence.push((sequence, target));
         }
@@ -72,11 +101,37 @@ impl Trace {
             outcome,
             delivered,
         });
+        if let Some(cap) = self.cap {
+            if self.records.len() > cap {
+                // Evict the oldest half in one block so the per-alert cost
+                // stays amortised O(1) instead of O(cap) per overflow.
+                let keep = cap.div_ceil(2);
+                let evict = self.records.len() - keep;
+                self.records.drain(..evict);
+                self.dropped += evict;
+            }
+        }
     }
 
-    /// All alert records in arrival order.
+    /// The retained alert records in arrival order — all of them for an
+    /// unbounded trace, the most recent window for a capped one.
     pub fn records(&self) -> &[AlertRecord] {
         &self.records
+    }
+
+    /// The retention cap, if one was set.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Total alerts recorded, including evicted ones.
+    pub fn total_recorded(&self) -> usize {
+        self.next_sequence
+    }
+
+    /// Records evicted to honour the cap (0 for unbounded traces).
+    pub fn dropped(&self) -> usize {
+        self.dropped
     }
 
     /// The revocations in the order they fired: `(alert sequence, target)`.
@@ -114,12 +169,23 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "trace: {} alerts, {} revocations",
-            self.records.len(),
-            self.revocation_sequence.len()
-        )?;
+        if self.dropped > 0 {
+            writeln!(
+                f,
+                "trace: {} of {} alerts retained ({} dropped), {} revocations",
+                self.records.len(),
+                self.next_sequence,
+                self.dropped,
+                self.revocation_sequence.len()
+            )?;
+        } else {
+            writeln!(
+                f,
+                "trace: {} alerts, {} revocations",
+                self.records.len(),
+                self.revocation_sequence.len()
+            )?;
+        }
         for (seq, target) in &self.revocation_sequence {
             writeln!(f, "  revoked {target} at alert #{seq}")?;
         }
@@ -204,6 +270,68 @@ mod tests {
         // 5 delivered, 4 accepted (one IgnoredTargetRevoked).
         assert!((t.acceptance_ratio() - 0.8).abs() < 1e-12);
         assert_eq!(Trace::new().acceptance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn capped_trace_keeps_newest_with_absolute_sequences() {
+        let mut t = Trace::with_cap(4);
+        for i in 0..10u32 {
+            let outcome = if i == 2 {
+                AlertOutcome::AcceptedAndRevoked
+            } else {
+                AlertOutcome::Accepted
+            };
+            t.record(
+                NodeId(i),
+                NodeId(100),
+                AlertSource::Detection,
+                outcome,
+                true,
+            );
+        }
+        assert!(t.records().len() <= 4, "cap respected");
+        assert_eq!(t.total_recorded(), 10);
+        assert_eq!(t.dropped() + t.records().len(), 10);
+        // Sequence numbers are absolute and the window is the newest tail.
+        assert_eq!(t.records().last().unwrap().sequence, 9);
+        assert!(t
+            .records()
+            .windows(2)
+            .all(|w| w[0].sequence + 1 == w[1].sequence));
+        // The revocation at sequence 2 survives even after its record left.
+        assert_eq!(t.revocations(), &[(2, NodeId(100))]);
+        assert!(t.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn cap_of_one_still_retains_the_latest_record() {
+        let mut t = Trace::with_cap(1);
+        for i in 0..5u32 {
+            t.record(
+                NodeId(i),
+                NodeId(7),
+                AlertSource::Collusion,
+                AlertOutcome::IgnoredReporterBudget,
+                true,
+            );
+        }
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].sequence, 4);
+        assert_eq!(t.dropped(), 4);
+    }
+
+    #[test]
+    fn unbounded_trace_reports_no_drops() {
+        let t = sample();
+        assert_eq!(t.cap(), None);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.total_recorded(), t.records().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cap_is_rejected() {
+        let _ = Trace::with_cap(0);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Integration test: an instrumented run emits the expected event stream
+//! and produces the exact same measurements as an uninstrumented run.
+
+use secloc_obs::{MemorySink, MetricsRegistry, Obs, Value};
+use secloc_sim::{Experiment, SimConfig};
+use std::sync::Arc;
+
+fn shrunk() -> SimConfig {
+    SimConfig {
+        nodes: 200,
+        beacons: 20,
+        malicious: 2,
+        attacker_p: 0.5,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn instrumented_run_emits_expected_event_kinds_in_order() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = Obs::new(Some(registry.clone()), Some(sink.clone()));
+
+    let exp = Experiment::new_observed(shrunk(), 11, &telemetry);
+    let (outcome, trace) = exp.run_observed(&telemetry);
+
+    let events = sink.events();
+    assert!(!events.is_empty());
+
+    // Sequence numbers are strictly increasing — emission order is real.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+
+    // The deploy phase is announced at construction time, before run.start.
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+    assert_eq!(kinds[0], "phase");
+    assert_eq!(
+        events[0].field("name"),
+        Some(&Value::Str("deploy".to_string()))
+    );
+
+    // One run.start, then phases in pipeline order, then the closing pair.
+    let phase_names: Vec<String> = events
+        .iter()
+        .filter(|e| e.kind == "phase")
+        .filter_map(|e| match e.field("name") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        phase_names,
+        [
+            "deploy",
+            "detection",
+            "location",
+            "alert_delivery",
+            "revocation",
+            "impact"
+        ]
+    );
+
+    let run_start = kinds.iter().position(|k| *k == "run.start").unwrap();
+    assert_eq!(run_start, 2, "deploy phase + span precede run.start");
+    assert_eq!(*kinds.last().unwrap(), "run.end");
+    assert_eq!(kinds[kinds.len() - 2], "round.snapshot");
+
+    // Every phase gets a span event; spans close after their phase opens.
+    let span_count = kinds.iter().filter(|k| **k == "span").count();
+    assert_eq!(span_count, 6, "one span per phase");
+
+    // Revocation events match the trace's revocation sequence.
+    let revocation_events = events.iter().filter(|e| e.kind == "revocation").count();
+    assert_eq!(
+        revocation_events as u32,
+        outcome.revoked_malicious + outcome.revoked_benign
+    );
+    assert_eq!(revocation_events, trace.revocations().len());
+}
+
+#[test]
+fn instrumented_counters_agree_with_outcome() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let telemetry = Obs::with_metrics(registry.clone());
+
+    let exp = Experiment::new_observed(shrunk(), 23, &telemetry);
+    let (outcome, _) = exp.run_observed(&telemetry);
+    let snap = registry.snapshot();
+
+    assert_eq!(
+        snap.counter("detect.alerts_raised"),
+        Some(outcome.benign_alerts as u64)
+    );
+    assert_eq!(
+        snap.counter("alerts.sent.collusion").unwrap_or(0),
+        outcome.collusion_alerts as u64
+    );
+    assert_eq!(
+        snap.gauge("sim.revoked_malicious"),
+        Some(outcome.revoked_malicious as i64)
+    );
+    assert_eq!(
+        snap.gauge("sim.revoked_benign"),
+        Some(outcome.revoked_benign as i64)
+    );
+    // Every base-station decision on a delivered alert is accounted for.
+    let decisions: u64 = [
+        "bs.alert.accepted",
+        "bs.alert.accepted_and_revoked",
+        "bs.alert.ignored_reporter_budget",
+        "bs.alert.ignored_target_revoked",
+    ]
+    .iter()
+    .map(|n| snap.counter(n).unwrap_or(0))
+    .sum();
+    let sent = snap.counter("alerts.sent.detection").unwrap_or(0)
+        + snap.counter("alerts.sent.collusion").unwrap_or(0);
+    let dropped = snap.counter("alerts.dropped_in_transit").unwrap_or(0);
+    assert_eq!(decisions, sent - dropped);
+}
+
+#[test]
+fn instrumentation_does_not_change_outcomes() {
+    for seed in [1u64, 17, 99] {
+        let plain = Experiment::new(shrunk(), seed).run();
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Obs::new(Some(registry), Some(sink));
+        let (observed, _) =
+            Experiment::new_observed(shrunk(), seed, &telemetry).run_observed(&telemetry);
+
+        assert_eq!(plain, observed, "instrumentation perturbed seed {seed}");
+    }
+}

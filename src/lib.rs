@@ -12,6 +12,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`obs`] | `secloc-obs` | metrics registry, spans, event sinks, report writers |
 //! | [`geometry`] | `secloc-geometry` | points, fields, deployments, spatial index |
 //! | [`crypto`] | `secloc-crypto` | PRF, MACs, node IDs, key predistribution |
 //! | [`radio`] | `secloc-radio` | cycle timing, RTT model, ranging, frames, event queue |
@@ -71,6 +72,7 @@ pub use secloc_core as core;
 pub use secloc_crypto as crypto;
 pub use secloc_geometry as geometry;
 pub use secloc_localization as localization;
+pub use secloc_obs as obs;
 pub use secloc_radio as radio;
 pub use secloc_sim as sim;
 

@@ -92,10 +92,7 @@ fn detection_and_revocation_protect_dvhop() {
     assert!((recovered_err - honest_err).abs() < 1e-9, "full recovery");
 }
 
-fn mean_error(
-    estimates: &[Option<secloc::localization::Estimate>],
-    truths: &[Point2],
-) -> f64 {
+fn mean_error(estimates: &[Option<secloc::localization::Estimate>], truths: &[Point2]) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
     for (est, truth) in estimates.iter().zip(truths) {

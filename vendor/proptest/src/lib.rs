@@ -1,0 +1,423 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This crate implements the subset of the proptest API the
+//! workspace's property tests use — `proptest!`, `prop_assert*!`,
+//! `prop_assume!`, `any`, numeric-range and tuple strategies, `prop_map`,
+//! `prop_filter`, `collection::vec`, `array::uniform4`, `sample::Index`
+//! and `ProptestConfig::with_cases` — as a plain random-case runner.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! assertion message, not a minimised input), and case generation uses a
+//! fixed per-test deterministic seed, so runs are reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait: default strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Rejected, TestRng};
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            u128::arbitrary_value(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Finite values only, spread over a broad but usable magnitude.
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.next_u64() % 64) as i32 - 32;
+            mantissa * (2.0f64).powi(exp)
+        }
+    }
+
+    /// The strategy returned by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A> Default for Any<A> {
+        fn default() -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<A, Rejected> {
+            Ok(A::arbitrary_value(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Rejected, TestRng};
+    use core::ops::{Range, RangeInclusive};
+
+    /// A size specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s with lengths drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() % span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Rejected, TestRng};
+
+    macro_rules! uniform_array {
+        ($name:ident, $fn_name:ident, $n:expr) => {
+            /// A strategy producing fixed-size arrays from one element strategy.
+            #[derive(Debug, Clone)]
+            pub struct $name<S>(S);
+
+            /// Arrays of `
+            #[doc = stringify!($n)]
+            /// ` values drawn from `element`.
+            pub fn $fn_name<S: Strategy>(element: S) -> $name<S> {
+                $name(element)
+            }
+
+            impl<S: Strategy> Strategy for $name<S> {
+                type Value = [S::Value; $n];
+
+                fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                    let mut out = Vec::with_capacity($n);
+                    for _ in 0..$n {
+                        out.push(self.0.generate(rng)?);
+                    }
+                    match out.try_into() {
+                        Ok(arr) => Ok(arr),
+                        Err(_) => unreachable!("length checked"),
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_array!(UniformArray2, uniform2, 2);
+    uniform_array!(UniformArray3, uniform3, 3);
+    uniform_array!(UniformArray4, uniform4, 4);
+    uniform_array!(UniformArray8, uniform8, 8);
+    uniform_array!(UniformArray32, uniform32, 32);
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An abstract index into a collection of as-yet-unknown length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the abstract index against a concrete length.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{Any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The canonical strategy for "any value of type `A`".
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any::default()
+    }
+}
+
+/// Defines property tests. Each contained `fn` becomes a `#[test]` that
+/// draws random inputs from the given strategies and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let __strategies = ($($strat,)+);
+            let __max_attempts = __config.cases.saturating_mul(100).max(10_000);
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __passed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __max_attempts,
+                    "proptest: too many rejected cases in `{}` ({} passed of {} wanted)",
+                    stringify!($name), __passed, __config.cases,
+                );
+                let __values = match $crate::strategy::Strategy::generate(
+                    &__strategies,
+                    &mut __rng,
+                ) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
+                let ($($pat,)+) = __values;
+                // The immediately-called closure gives `prop_assume!` an
+                // early-return channel; silence the pedantic lint at every
+                // expansion site.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    Ok(()) => __passed += 1,
+                    Err(_) => continue,
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("proptest assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Discards the current case (without failing) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0u32..10, (x, y) in (0.0..1.0f64, -5i64..=5)) {
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn maps_and_filters(
+            v in crate::collection::vec(any::<u8>(), 1..16),
+            idx in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_accepted(b in any::<bool>()) {
+            prop_assert!(usize::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (0u32..100)
+            .prop_map(|n| n * 2)
+            .prop_filter("multiple of 4", |n| n % 4 == 0);
+        let mut rng = TestRng::for_test("filter_and_map_compose");
+        for _ in 0..100 {
+            if let Ok(v) = strat.generate(&mut rng) {
+                assert_eq!(v % 4, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn arrays_have_right_arity() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::for_test("arrays");
+        let arr = crate::array::uniform4(1u64..5).generate(&mut rng).unwrap();
+        assert_eq!(arr.len(), 4);
+        assert!(arr.iter().all(|v| (1..5).contains(v)));
+    }
+}
