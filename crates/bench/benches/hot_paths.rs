@@ -1,0 +1,291 @@
+//! Perf regression harness for the allocation-free hot paths.
+//!
+//! Measures before/after pairs on the same binary — the pre-optimization
+//! implementations are preserved as `GridIndex::within` (allocating),
+//! `Medium::transmit_reference` and `Experiment::run_reference` — so the
+//! ratios are honest and machine-independent:
+//!
+//! 1. **grid queries** — allocating `within` vs scratch-buffer
+//!    `within_into` over every node position at paper scale;
+//! 2. **radio transmit** — linear-scan `transmit_reference` vs cached
+//!    `transmit_into` on a 1000-node medium with wormhole taps;
+//! 3. **full run** — `run_reference` vs `run` at `SimConfig::paper_default`
+//!    scale, plus per-phase p50/p90/p99 from observed optimized runs.
+//!
+//! Writes `results/BENCH_perf.json`. The acceptance bar is a full-run
+//! throughput ratio ≥ 2.0. Pass `--quick` (the CI perf-smoke mode) to cut
+//! iteration counts; ratios get noisier but the artifact shape is the same.
+
+use secloc_bench::{banner, results_dir, Table};
+use secloc_geometry::GridIndex;
+use secloc_obs::{MetricsRegistry, Obs};
+use secloc_radio::medium::{Medium, Tap};
+use secloc_radio::{Cycles, Frame, FrameBody, RequestPayload};
+use secloc_sim::report::PHASE_NAMES;
+use secloc_sim::{Deployment, Experiment, SimConfig};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured before/after pair.
+struct Section {
+    name: &'static str,
+    iters: u64,
+    before_ns: u64,
+    after_ns: u64,
+}
+
+impl Section {
+    fn ratio(&self) -> f64 {
+        self.before_ns as f64 / self.after_ns as f64
+    }
+    fn per_iter(&self, total_ns: u64) -> f64 {
+        total_ns as f64 / self.iters as f64
+    }
+}
+
+fn time<R>(mut f: impl FnMut() -> R) -> u64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_nanos() as u64
+}
+
+fn bench_grid(deployment: &Deployment, rounds: u32) -> Section {
+    let cfg = deployment.config();
+    let positions: Vec<_> = (0..cfg.nodes).map(|i| deployment.position(i)).collect();
+    let field = secloc_geometry::Field::square(cfg.field_side_ft);
+    let idx = GridIndex::build(&field, cfg.range_ft, positions.iter().copied());
+    let r = cfg.range_ft;
+
+    // Warm both paths once so neither pays first-touch costs.
+    let mut scratch = Vec::new();
+    idx.within_into(positions[0], r, &mut scratch);
+    let _ = idx.within(positions[0], r);
+
+    let before_ns = time(|| {
+        let mut total = 0usize;
+        for _ in 0..rounds {
+            for &p in &positions {
+                total += idx.within(p, r).len();
+            }
+        }
+        total
+    });
+    let after_ns = time(|| {
+        let mut total = 0usize;
+        for _ in 0..rounds {
+            for &p in &positions {
+                idx.within_into(p, r, &mut scratch);
+                total += scratch.len();
+            }
+        }
+        total
+    });
+    Section {
+        name: "grid_within",
+        iters: u64::from(rounds) * positions.len() as u64,
+        before_ns,
+        after_ns,
+    }
+}
+
+fn bench_transmit(deployment: &Deployment, rounds: u32) -> Section {
+    let cfg = deployment.config();
+    let positions: Vec<_> = (0..cfg.nodes).map(|i| deployment.position(i)).collect();
+    let frame = Frame::seal(
+        secloc_crypto::NodeId(0),
+        secloc_crypto::NodeId(1),
+        FrameBody::Request(RequestPayload {
+            requester: secloc_crypto::NodeId(0),
+        }),
+        &secloc_crypto::Key::from_u128(7),
+    );
+    let build = || {
+        let mut m = Medium::new(positions.clone(), cfg.range_ft, 0.1, 99);
+        if let Some((a, b)) = cfg.wormhole {
+            for (capture, replay) in [(a, b), (b, a)] {
+                m.add_tap(Tap {
+                    capture_at: capture,
+                    capture_range: cfg.range_ft,
+                    replay_from: replay,
+                    extra_delay: Cycles::new(1_000),
+                });
+            }
+        }
+        m
+    };
+    // Every ~20th node transmits each round — a round-robin beacon
+    // schedule. Cache building is inside the timed region, amortized over
+    // the rounds exactly as a multi-round simulation would amortize it.
+    let senders: Vec<usize> = (0..cfg.nodes as usize).step_by(20).collect();
+    let iters = u64::from(rounds) * senders.len() as u64;
+
+    let mut reference = build();
+    let before_ns = time(|| {
+        let mut total = 0usize;
+        for round in 0..rounds {
+            let at = Cycles::new(u64::from(round) * 10_000_000);
+            for &s in &senders {
+                total += reference.transmit_reference(s, &frame, at).len();
+            }
+        }
+        total
+    });
+    let mut cached = build();
+    let mut out = Vec::new();
+    let after_ns = time(|| {
+        let mut total = 0usize;
+        for round in 0..rounds {
+            let at = Cycles::new(u64::from(round) * 10_000_000);
+            for &s in &senders {
+                cached.transmit_into(s, &frame, at, &mut out);
+                total += out.len();
+            }
+        }
+        total
+    });
+    Section {
+        name: "medium_transmit",
+        iters,
+        before_ns,
+        after_ns,
+    }
+}
+
+fn bench_full_run(cfg: &SimConfig, runs: u64, registry: &Arc<MetricsRegistry>) -> Section {
+    // Same seeds on both sides; deployment generation is outside the timed
+    // region (it is identical work for both paths).
+    let experiments: Vec<Experiment> = (0..runs).map(|s| Experiment::new(cfg.clone(), s)).collect();
+    let before_ns = time(|| {
+        for e in &experiments {
+            black_box(e.run_reference());
+        }
+    });
+    // The optimized side runs observed so the per-phase histograms in
+    // `registry` describe exactly the timed workload. Instrumentation
+    // overhead lands on the optimized side, which only understates the
+    // ratio.
+    let telemetry = Obs::with_metrics(registry.clone());
+    let after_ns = time(|| {
+        for e in &experiments {
+            black_box(e.run_observed(&telemetry));
+        }
+    });
+    Section {
+        name: "full_run",
+        iters: runs,
+        before_ns,
+        after_ns,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (grid_rounds, transmit_rounds, full_runs) = if quick { (2, 2, 3) } else { (10, 10, 20) };
+    banner(
+        "BENCH perf",
+        if quick {
+            "hot-path before/after ratios (quick mode)"
+        } else {
+            "hot-path before/after ratios at paper scale"
+        },
+    );
+
+    let cfg = SimConfig::paper_default();
+    let deployment = Deployment::generate(cfg.clone(), 1);
+
+    // Equivalence gate: a speedup that changes the answer is a bug, not a
+    // result. One full paper-scale run through both paths must agree.
+    let probe = Experiment::new(cfg.clone(), 7);
+    assert_eq!(
+        probe.run(),
+        probe.run_reference(),
+        "optimized and reference runs diverged — ratios are meaningless"
+    );
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sections = [
+        bench_grid(&deployment, grid_rounds),
+        bench_transmit(&deployment, transmit_rounds),
+        bench_full_run(&cfg, full_runs, &registry),
+    ];
+
+    let mut table = Table::new([
+        "section",
+        "iters",
+        "before ns/iter",
+        "after ns/iter",
+        "ratio",
+    ]);
+    for s in &sections {
+        table.row([
+            s.name.to_string(),
+            s.iters.to_string(),
+            format!("{:.0}", s.per_iter(s.before_ns)),
+            format!("{:.0}", s.per_iter(s.after_ns)),
+            format!("{:.2}x", s.ratio()),
+        ]);
+    }
+    table.print();
+
+    let mut json = String::from("{\n  \"bench\": \"hot_paths\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"config\": \"paper_default\",");
+    json.push_str("  \"sections\": {\n");
+    for (i, s) in sections.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    \"{}\": {{\"iters\": {}, \"before_total_ns\": {}, \"after_total_ns\": {}, \
+             \"before_ns_per_iter\": {:.0}, \"after_ns_per_iter\": {:.0}, \"ratio\": {:.4}}}",
+            s.name,
+            s.iters,
+            s.before_ns,
+            s.after_ns,
+            s.per_iter(s.before_ns),
+            s.per_iter(s.after_ns),
+            s.ratio()
+        );
+        json.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
+
+    // Per-phase quantiles of the observed optimized runs.
+    let snapshot = registry.snapshot();
+    json.push_str("  \"optimized_phases\": {\n");
+    let mut first = true;
+    for name in PHASE_NAMES {
+        let Some(h) = snapshot.histogram(&format!("span.phase.{name}.ns")) else {
+            continue;
+        };
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let (p50, p90, p99) = h.p50_p90_p99();
+        let _ = write!(
+            json,
+            "    \"{name}\": {{\"runs\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {:.0}, \
+             \"p90_ns\": {:.0}, \"p99_ns\": {:.0}}}",
+            h.count,
+            h.mean(),
+            p50,
+            p90,
+            p99
+        );
+    }
+    json.push_str("\n  },\n");
+
+    let full = &sections[2];
+    let _ = writeln!(json, "  \"full_run_ratio_target\": 2.0,");
+    let _ = writeln!(json, "  \"full_run_ratio\": {:.4}", full.ratio());
+    json.push_str("}\n");
+
+    let path = secloc_obs::output::write_text(results_dir(), "BENCH_perf.json", &json)
+        .expect("write BENCH_perf.json");
+    println!(
+        "\n  full-run throughput ratio: {:.2}x (target 2.0x)",
+        full.ratio()
+    );
+    println!("  wrote {}", path.display());
+}

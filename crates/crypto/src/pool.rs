@@ -15,6 +15,12 @@ use crate::{Key, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Pools up to this size memoize all derived keys on first access; larger
+/// pools keep deriving per call rather than commit to an enormous table.
+const KEY_CACHE_MAX: u32 = 1 << 20;
 
 /// Identifier of a key within a [`KeyPool`].
 pub type KeyId = u32;
@@ -36,6 +42,11 @@ pub type KeyId = u32;
 pub struct KeyPool {
     master: Key,
     size: u32,
+    // Pool keys are pure functions of (master, id), so they are derived at
+    // most once and shared between clones. Simulations re-establish link
+    // keys every round; without this the same SHA-style derivations
+    // dominate the crypto phase.
+    cache: Arc<OnceLock<Box<[Key]>>>,
 }
 
 /// The key ring preloaded on one node: a sorted set of key IDs.
@@ -62,7 +73,11 @@ impl KeyPool {
     /// Panics if `size == 0`.
     pub fn generate(master: Key, size: u32) -> Self {
         assert!(size > 0, "key pool must be non-empty");
-        KeyPool { master, size }
+        KeyPool {
+            master,
+            size,
+            cache: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Number of keys in the pool (the scheme's `P`).
@@ -72,11 +87,23 @@ impl KeyPool {
 
     /// The pool key with identifier `id`.
     ///
+    /// Memoized: the first access to a reasonably-sized pool derives every
+    /// key once, and later calls (including from clones) are array lookups.
+    ///
     /// # Panics
     ///
     /// Panics if `id` is outside the pool.
     pub fn key(&self, id: KeyId) -> Key {
         assert!(id < self.size, "key id {id} outside pool of {}", self.size);
+        if self.size > KEY_CACHE_MAX {
+            return self.derive_key(id);
+        }
+        self.cache
+            .get_or_init(|| (0..self.size).map(|i| self.derive_key(i)).collect())[id as usize]
+    }
+
+    /// The underlying (uncached) derivation for pool key `id`.
+    fn derive_key(&self, id: KeyId) -> Key {
         self.master.derive_indexed(b"pool", id as u64)
     }
 
@@ -301,6 +328,28 @@ mod tests {
             (measured - expected).abs() < 0.05,
             "measured {measured}, expected {expected}"
         );
+    }
+
+    #[test]
+    fn cached_keys_match_fresh_derivations() {
+        let p = pool();
+        for id in 0..p.size() {
+            assert_eq!(p.key(id), p.derive_key(id), "key {id}");
+        }
+        // Repeated lookups and clone lookups return the same values.
+        let clone = p.clone();
+        for id in [0, 7, 199] {
+            assert_eq!(p.key(id), clone.key(id));
+        }
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let p = pool();
+        let clone = p.clone();
+        let _ = p.key(0); // populate via the original…
+        assert!(clone.cache.get().is_some()); // …and the clone sees it
+        assert!(Arc::ptr_eq(&p.cache, &clone.cache));
     }
 
     #[test]

@@ -93,35 +93,78 @@ impl GridIndex {
 
     /// Indices of all positions within `radius` of `center` (inclusive),
     /// sorted ascending.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths issuing many queries
+    /// should reuse a scratch buffer via [`GridIndex::within_into`].
     pub fn within(&self, center: Point2, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.within_into(center, radius, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`GridIndex::within`]: clears `out` and
+    /// fills it with the indices of all positions within `radius` of
+    /// `center` (inclusive), sorted ascending.
+    ///
+    /// Reusing one scratch buffer across queries keeps steady-state queries
+    /// allocation-free (the buffer grows to the largest result ever seen
+    /// and stays there).
+    pub fn within_into(&self, center: Point2, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.within_iter(center, radius));
+        out.sort_unstable();
+    }
+
+    /// Lazily yields the indices of all positions within `radius` of
+    /// `center` (inclusive), in **bucket order** (unsorted). Use this when
+    /// the caller only folds over the result (counting, summing) and does
+    /// not need the ascending order that [`GridIndex::within`] guarantees.
+    pub fn within_iter(&self, center: Point2, radius: f64) -> impl Iterator<Item = usize> + '_ {
         let r2 = radius * radius;
-        let mut out: Vec<usize> = Vec::new();
+        let empty = center.x + radius < 0.0
+            || center.y + radius < 0.0
+            || center.x - radius > self.cols as f64 * self.cell
+            || center.y - radius > self.rows as f64 * self.cell;
         let min_cx = (((center.x - radius) / self.cell).floor().max(0.0)) as usize;
         let min_cy = (((center.y - radius) / self.cell).floor().max(0.0)) as usize;
         let max_cx = ((((center.x + radius) / self.cell).floor()) as usize).min(self.cols - 1);
         let max_cy = ((((center.y + radius) / self.cell).floor()) as usize).min(self.rows - 1);
-        if center.x + radius < 0.0 || center.y + radius < 0.0 {
-            return out;
-        }
-        for cy in min_cy..=max_cy {
-            for cx in min_cx..=max_cx {
-                for &id in &self.buckets[cy * self.cols + cx] {
-                    if self.positions[id as usize].distance_squared(center) <= r2 {
-                        out.push(id as usize);
-                    }
-                }
-            }
-        }
-        out.sort_unstable();
-        out
+        let (min_cy, max_cy) = if empty { (1, 0) } else { (min_cy, max_cy) };
+        (min_cy..=max_cy)
+            .flat_map(move |cy| (min_cx..=max_cx).map(move |cx| cy * self.cols + cx))
+            .flat_map(move |b| self.buckets[b].iter().copied())
+            .filter_map(move |id| {
+                (self.positions[id as usize].distance_squared(center) <= r2).then_some(id as usize)
+            })
+    }
+
+    /// Number of positions within `radius` of `center` (inclusive), without
+    /// materialising the index list.
+    pub fn count_within(&self, center: Point2, radius: f64) -> usize {
+        self.within_iter(center, radius).count()
     }
 
     /// Like [`GridIndex::within`] but excluding index `me` — the usual
     /// "neighbours of node `me`" query.
+    ///
+    /// Allocates per call; prefer [`GridIndex::neighbors_into`] on hot
+    /// paths.
     pub fn neighbors_of(&self, me: usize, radius: f64) -> Vec<usize> {
-        let mut v = self.within(self.positions[me], radius);
-        v.retain(|&i| i != me);
+        let mut v = Vec::new();
+        self.neighbors_into(me, radius, &mut v);
         v
+    }
+
+    /// Allocation-free variant of [`GridIndex::neighbors_of`]: clears `out`
+    /// and fills it with the neighbours of `me` within `radius`, sorted
+    /// ascending, excluding `me` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of bounds.
+    pub fn neighbors_into(&self, me: usize, radius: f64, out: &mut Vec<usize>) {
+        self.within_into(self.positions[me], radius, out);
+        out.retain(|&i| i != me);
     }
 
     fn bucket_of(&self, p: Point2) -> usize {
@@ -211,6 +254,65 @@ mod tests {
     fn rejects_positions_outside_field() {
         let field = Field::square(10.0);
         GridIndex::build(&field, 5.0, [Point2::new(20.0, 0.0)]);
+    }
+
+    #[test]
+    fn within_into_matches_within_and_reuses_buffer() {
+        let field = Field::new(500.0, 300.0);
+        let pts = deploy::uniform(&field, 400, 23);
+        let idx = GridIndex::build(&field, 60.0, pts.iter().copied());
+        let mut scratch = Vec::new();
+        for (i, &q) in pts.iter().enumerate().step_by(17) {
+            for r in [1.0, 25.0, 60.0, 130.0] {
+                idx.within_into(q, r, &mut scratch);
+                assert_eq!(scratch, idx.within(q, r), "query {i} radius {r}");
+            }
+        }
+        // The scratch buffer is cleared per query, not appended to.
+        idx.within_into(pts[0], 60.0, &mut scratch);
+        let first = scratch.clone();
+        idx.within_into(pts[0], 60.0, &mut scratch);
+        assert_eq!(scratch, first);
+    }
+
+    #[test]
+    fn neighbors_into_matches_neighbors_of() {
+        let field = Field::new(500.0, 300.0);
+        let pts = deploy::uniform(&field, 200, 29);
+        let idx = GridIndex::build(&field, 60.0, pts.iter().copied());
+        let mut scratch = Vec::new();
+        for me in (0..pts.len()).step_by(11) {
+            idx.neighbors_into(me, 60.0, &mut scratch);
+            assert_eq!(scratch, idx.neighbors_of(me, 60.0));
+            assert!(!scratch.contains(&me));
+        }
+    }
+
+    #[test]
+    fn within_iter_is_unsorted_within() {
+        let field = Field::new(500.0, 300.0);
+        let pts = deploy::uniform(&field, 300, 31);
+        let idx = GridIndex::build(&field, 60.0, pts.iter().copied());
+        for &q in pts.iter().step_by(19) {
+            let mut collected: Vec<usize> = idx.within_iter(q, 75.0).collect();
+            collected.sort_unstable();
+            assert_eq!(collected, idx.within(q, 75.0));
+        }
+    }
+
+    #[test]
+    fn count_within_matches_within_len() {
+        let field = Field::new(500.0, 300.0);
+        let pts = deploy::uniform(&field, 300, 37);
+        let idx = GridIndex::build(&field, 60.0, pts.iter().copied());
+        for &q in pts.iter().step_by(13) {
+            for r in [1.0, 60.0, 200.0] {
+                assert_eq!(idx.count_within(q, r), idx.within(q, r).len());
+            }
+        }
+        // Queries fully outside the field count zero.
+        assert_eq!(idx.count_within(Point2::new(-500.0, -500.0), 10.0), 0);
+        assert_eq!(idx.count_within(Point2::new(9000.0, 9000.0), 10.0), 0);
     }
 
     #[test]

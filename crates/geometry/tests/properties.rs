@@ -86,6 +86,37 @@ proptest! {
     }
 
     #[test]
+    fn within_into_agrees_with_brute_force(
+        n in 1usize..120,
+        seed in any::<u64>(),
+        qx in 0.0..200.0f64,
+        qy in 0.0..200.0f64,
+        r in 0.5..80.0f64,
+    ) {
+        // Mirror of `grid_index_agrees_with_brute_force` for the
+        // scratch-buffer API: the reused buffer must produce exactly the
+        // oracle result on every random deployment, including when it
+        // already holds stale entries from a previous query.
+        let f = Field::square(200.0);
+        let pts = deploy::uniform(&f, n, seed);
+        let idx = GridIndex::build(&f, 25.0, pts.iter().copied());
+        let q = Point2::new(qx, qy);
+        let expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(q) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        let mut scratch = vec![usize::MAX; 3]; // stale garbage must be cleared
+        idx.within_into(q, r, &mut scratch);
+        prop_assert_eq!(&scratch, &expected);
+        prop_assert_eq!(idx.count_within(q, r), expected.len());
+        let mut unsorted: Vec<usize> = idx.within_iter(q, r).collect();
+        unsorted.sort_unstable();
+        prop_assert_eq!(unsorted, expected);
+    }
+
+    #[test]
     fn normalized_has_unit_norm(x in -100.0..100.0f64, y in -100.0..100.0f64) {
         let v = Vector2::new(x, y);
         if let Some(u) = v.normalized() {

@@ -11,7 +11,7 @@ use crate::telemetry::RadioMetrics;
 use crate::{Cycles, Frame, FrameBody};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secloc_geometry::Point2;
+use secloc_geometry::{Field, GridIndex, Point2};
 
 /// One frame arriving at one receiver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,7 +77,23 @@ pub struct Medium {
     taps: Vec<Tap>,
     rng: StdRng,
     metrics: Option<RadioMetrics>,
+    // Positions and taps are static between `add_tap` calls, so everything
+    // geometric about a transmission is an invariant worth caching: who
+    // hears a given sender (with the propagation delay already computed),
+    // which taps capture it, and who hears each tap's replay point. Only
+    // the per-receiver loss draws remain per transmit. The caches fill
+    // lazily (first transmit from a sender) so construction stays cheap.
+    grid: Option<GridIndex>,
+    grid_built: bool,
+    direct: Vec<Option<InRangeList>>,
+    tap_capture: Vec<Option<Box<[u32]>>>,
+    tap_replay: Vec<InRangeList>,
+    taps_primed: bool,
 }
+
+/// Receivers in range of some point, ascending, with the propagation delay
+/// to each one precomputed.
+type InRangeList = Box<[(u32, Cycles)]>;
 
 impl Medium {
     /// Creates a medium over static node positions.
@@ -91,6 +107,7 @@ impl Medium {
             range_ft.is_finite() && range_ft > 0.0,
             "range must be positive, got {range_ft}"
         );
+        let n = positions.len();
         Medium {
             positions,
             range_ft,
@@ -98,6 +115,12 @@ impl Medium {
             taps: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             metrics: None,
+            grid: None,
+            grid_built: false,
+            direct: vec![None; n],
+            tap_capture: vec![None; n],
+            tap_replay: Vec::new(),
+            taps_primed: true, // no taps yet, nothing to prime
         }
     }
 
@@ -110,6 +133,13 @@ impl Medium {
     /// Installs an attacker tap (wormhole end or local replayer).
     pub fn add_tap(&mut self, tap: Tap) {
         self.taps.push(tap);
+        // Tap geometry changed: drop every tap-derived cache. Direct
+        // delivery lists only depend on positions and stay valid.
+        self.taps_primed = false;
+        self.tap_replay.clear();
+        for c in &mut self.tap_capture {
+            *c = None;
+        }
     }
 
     /// Node count.
@@ -135,10 +165,132 @@ impl Medium {
     /// deliveries — direct listeners in range plus copies re-injected by
     /// taps — sorted by arrival time.
     ///
+    /// Allocates the returned `Vec` per call. Hot paths issuing many
+    /// transmits should reuse a scratch buffer via
+    /// [`Medium::transmit_into`]; this variant is kept for one-off sends
+    /// and API compatibility.
+    ///
     /// # Panics
     ///
     /// Panics when `sender` is out of bounds.
     pub fn transmit(&mut self, sender: usize, frame: &Frame, at: Cycles) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.transmit_into(sender, frame, at, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Medium::transmit`]: clears `out` and
+    /// fills it with the deliveries, sorted by arrival time.
+    ///
+    /// Consumes the RNG stream exactly like [`Medium::transmit`] and
+    /// [`Medium::transmit_reference`] — one loss draw per in-range
+    /// candidate, in ascending receiver order, direct listeners first and
+    /// then each capturing tap in installation order — so the three entry
+    /// points are interchangeable mid-stream without perturbing seeded
+    /// simulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sender` is out of bounds.
+    pub fn transmit_into(
+        &mut self,
+        sender: usize,
+        frame: &Frame,
+        at: Cycles,
+        out: &mut Vec<Delivery>,
+    ) {
+        out.clear();
+        self.prime_taps();
+        self.prime_sender(sender);
+        let airtime = frame.transmission_time();
+        let n = self.positions.len();
+        if let Some(m) = &self.metrics {
+            m.frames_sent.incr();
+            if matches!(frame.peek_body(), FrameBody::Request(_)) {
+                m.ranging_requests.incr();
+            }
+        }
+
+        // Direct deliveries: one pass over the precomputed in-range list,
+        // touching only the loss draw per candidate. The cached list plays
+        // the role of the range check, which therefore still stays ahead of
+        // the loss draw — attaching metrics never changes the RNG stream.
+        let direct = self.direct[sender].as_deref().expect("primed above");
+        for &(receiver, prop) in direct {
+            if self.loss.is_lost(&mut self.rng) {
+                if let Some(m) = &self.metrics {
+                    m.frames_dropped_loss.incr();
+                }
+                continue;
+            }
+            out.push(Delivery {
+                receiver: receiver as usize,
+                frame: *frame,
+                at: at + airtime + prop,
+                via_tap: false,
+            });
+        }
+        if let Some(m) = &self.metrics {
+            m.frames_dropped_range.add((n - 1 - direct.len()) as u64);
+        }
+
+        // Tap re-injections: a tap that hears the frame re-transmits it
+        // after fully receiving it (store-and-forward) plus its tunnel
+        // latency. Which taps hear this sender and who hears each tap are
+        // both cached; only the sender exclusion is per-call.
+        let capturing = self.tap_capture[sender].as_deref().expect("primed above");
+        for &t in capturing {
+            let tap = self.taps[t as usize];
+            let replay_start = at + airtime + tap.extra_delay;
+            let mut candidates = 0usize;
+            for &(receiver, prop) in self.tap_replay[t as usize].iter() {
+                if receiver as usize == sender {
+                    continue;
+                }
+                candidates += 1;
+                if self.loss.is_lost(&mut self.rng) {
+                    if let Some(m) = &self.metrics {
+                        m.frames_dropped_loss.incr();
+                    }
+                    continue;
+                }
+                out.push(Delivery {
+                    receiver: receiver as usize,
+                    frame: *frame,
+                    at: replay_start + airtime + prop,
+                    via_tap: true,
+                });
+            }
+            if let Some(m) = &self.metrics {
+                m.frames_dropped_range.add((n - 1 - candidates) as u64);
+            }
+        }
+
+        if let Some(m) = &self.metrics {
+            m.frames_delivered.add(out.len() as u64);
+            m.frames_tap_replayed
+                .add(out.iter().filter(|d| d.via_tap).count() as u64);
+        }
+        out.sort_by_key(|d| (d.at, d.receiver));
+    }
+
+    /// The pre-optimization transmit path: full linear scans over every
+    /// node per call, no caching. Kept verbatim so the perf regression
+    /// harness (`benches/hot_paths.rs`) can measure an honest before/after
+    /// ratio on the same binary, and so tests can prove the cached path is
+    /// bit-identical (same deliveries, same RNG stream, same metrics).
+    ///
+    /// Not for production use — call [`Medium::transmit_into`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sender` is out of bounds.
+    pub fn transmit_reference(
+        &mut self,
+        sender: usize,
+        frame: &Frame,
+        at: Cycles,
+    ) -> Vec<Delivery> {
         let src = self.positions[sender];
         let airtime = frame.transmission_time();
         let mut out = Vec::new();
@@ -223,6 +375,101 @@ impl Medium {
         }
         out.sort_by_key(|d| (d.at, d.receiver));
         out
+    }
+
+    /// Builds the per-tap replay lists (and the spatial index underneath)
+    /// the first time they are needed after construction or `add_tap`.
+    fn prime_taps(&mut self) {
+        if self.taps_primed {
+            return;
+        }
+        self.taps_primed = true;
+        self.build_grid();
+        let mut lists = Vec::with_capacity(self.taps.len());
+        for t in 0..self.taps.len() {
+            lists.push(self.in_range_list(self.taps[t].replay_from, None));
+        }
+        self.tap_replay = lists;
+    }
+
+    /// Builds the direct-delivery and tap-capture lists for `sender` on its
+    /// first transmission.
+    fn prime_sender(&mut self, sender: usize) {
+        if self.direct[sender].is_none() {
+            self.build_grid();
+            let src = self.positions[sender];
+            self.direct[sender] = Some(self.in_range_list(src, Some(sender)));
+        }
+        if self.tap_capture[sender].is_none() {
+            let src = self.positions[sender];
+            let caps: Box<[u32]> = self
+                .taps
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| src.distance(t.capture_at) <= t.capture_range)
+                .map(|(i, _)| i as u32)
+                .collect();
+            self.tap_capture[sender] = Some(caps);
+        }
+    }
+
+    /// Builds the bucket-grid index over node positions once. Positions
+    /// with negative or non-finite coordinates cannot live in a [`Field`],
+    /// so such media fall back to linear scans during cache builds (the
+    /// caches themselves still apply).
+    fn build_grid(&mut self) {
+        if self.grid_built {
+            return;
+        }
+        self.grid_built = true;
+        let fits = !self.positions.is_empty()
+            && self
+                .positions
+                .iter()
+                .all(|p| p.x.is_finite() && p.y.is_finite() && p.x >= 0.0 && p.y >= 0.0);
+        if !fits {
+            return;
+        }
+        let mut w = 1.0f64;
+        let mut h = 1.0f64;
+        for p in &self.positions {
+            w = w.max(p.x);
+            h = h.max(p.y);
+        }
+        let field = Field::new(w, h);
+        self.grid = Some(GridIndex::build(
+            &field,
+            self.range_ft,
+            self.positions.iter().copied(),
+        ));
+    }
+
+    /// All receivers within radio range of `from` (excluding `exclude`),
+    /// ascending, with their propagation delays precomputed. Allocates —
+    /// called once per cache entry, never per transmit.
+    fn in_range_list(&self, from: Point2, exclude: Option<usize>) -> InRangeList {
+        let entry = |i: usize| {
+            let d = from.distance(self.positions[i]);
+            (
+                i as u32,
+                Cycles::new(Cycles::propagation_fractional(d).round() as u64),
+            )
+        };
+        match &self.grid {
+            Some(grid) => {
+                let mut hits = Vec::new();
+                grid.within_into(from, self.range_ft, &mut hits);
+                hits.into_iter()
+                    .filter(|&i| Some(i) != exclude)
+                    .map(entry)
+                    .collect()
+            }
+            None => (0..self.positions.len())
+                .filter(|&i| Some(i) != exclude)
+                .filter(|&i| from.distance(self.positions[i]) <= self.range_ft)
+                .map(entry)
+                .collect(),
+        }
     }
 
     /// Per-packet delivery probability on an in-range link (loss model
@@ -418,6 +665,144 @@ mod tests {
         // Lossless medium: every non-delivery was a range drop.
         assert!(s.counter("radio.frames.dropped_range").unwrap() > 0);
         assert_eq!(s.counter("radio.frames.dropped_loss"), Some(0));
+    }
+
+    /// A bigger medium with taps, for cached-vs-reference equivalence.
+    fn tapped_grid_medium(loss: f64, seed: u64) -> Medium {
+        let mut positions = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                positions.push(Point2::new(i as f64 * 60.0, j as f64 * 60.0));
+            }
+        }
+        let mut m = Medium::new(positions, 150.0, loss, seed);
+        m.add_tap(Tap {
+            capture_at: Point2::new(0.0, 0.0),
+            capture_range: 120.0,
+            replay_from: Point2::new(600.0, 600.0),
+            extra_delay: Cycles::new(2_000),
+        });
+        m.add_tap(Tap {
+            capture_at: Point2::new(600.0, 600.0),
+            capture_range: 120.0,
+            replay_from: Point2::new(0.0, 0.0),
+            extra_delay: Cycles::new(2_000),
+        });
+        m
+    }
+
+    #[test]
+    fn transmit_into_matches_reference_bit_for_bit() {
+        // Two same-seeded media, one driven through the cached path and one
+        // through the preserved reference path. Every delivery list and the
+        // RNG stream position must agree transmit after transmit — with
+        // loss enabled so a single extra/missing/misordered draw anywhere
+        // desynchronizes everything after it.
+        for loss in [0.0, 0.3] {
+            let mut cached = tapped_grid_medium(loss, 42);
+            let mut reference = tapped_grid_medium(loss, 42);
+            let mut out = Vec::new();
+            for round in 0..3u32 {
+                for sender in 0..cached.len() {
+                    let f = request_frame(sender as u32, 0);
+                    let at = Cycles::new(u64::from(round) * 1_000_000);
+                    cached.transmit_into(sender, &f, at, &mut out);
+                    let expected = reference.transmit_reference(sender, &f, at);
+                    assert_eq!(out, expected, "loss={loss} round={round} sender={sender}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transmit_metrics_match_reference_totals() {
+        use secloc_obs::MetricsRegistry;
+        let drive = |reference: bool| {
+            let registry = MetricsRegistry::new();
+            let mut m = tapped_grid_medium(0.25, 7);
+            m.attach_metrics(RadioMetrics::new(&registry));
+            for sender in 0..m.len() {
+                let f = request_frame(sender as u32, 0);
+                if reference {
+                    m.transmit_reference(sender, &f, Cycles::ZERO);
+                } else {
+                    m.transmit(sender, &f, Cycles::ZERO);
+                }
+            }
+            registry.snapshot()
+        };
+        let cached = drive(false);
+        let reference = drive(true);
+        for counter in [
+            "radio.frames.sent",
+            "radio.frames.delivered",
+            "radio.frames.dropped_range",
+            "radio.frames.dropped_loss",
+            "radio.frames.tap_replayed",
+            "radio.ranging.requests",
+        ] {
+            assert_eq!(
+                cached.counter(counter),
+                reference.counter(counter),
+                "{counter}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_tap_invalidates_caches() {
+        let mut m = line_medium(0.0);
+        let f = request_frame(0, 3);
+        // Prime the caches with a tapless transmit…
+        assert!(m.transmit(0, &f, Cycles::ZERO).iter().all(|d| !d.via_tap));
+        // …then install a tap; the next transmit must see it.
+        m.add_tap(Tap {
+            capture_at: Point2::new(0.0, 0.0),
+            capture_range: 50.0,
+            replay_from: Point2::new(900.0, 0.0),
+            extra_delay: Cycles::ZERO,
+        });
+        let tapped: Vec<usize> = m
+            .transmit(0, &f, Cycles::ZERO)
+            .iter()
+            .filter(|d| d.via_tap)
+            .map(|d| d.receiver)
+            .collect();
+        assert_eq!(tapped, vec![3]);
+    }
+
+    #[test]
+    fn transmit_into_clears_stale_scratch() {
+        let mut m = line_medium(0.0);
+        let f = request_frame(0, 1);
+        let mut out = m.transmit(3, &f, Cycles::ZERO); // node 3 is isolated…
+        assert!(out.is_empty());
+        m.transmit_into(0, &f, Cycles::ZERO, &mut out);
+        assert_eq!(out.len(), 1); // …and a reused buffer holds only fresh results
+        m.transmit_into(3, &f, Cycles::ZERO, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_fall_back_to_linear_scan() {
+        // Positions a Field can't host: the grid is skipped but the caches
+        // still work and agree with the reference scan.
+        let positions = vec![
+            Point2::new(-100.0, -50.0),
+            Point2::new(-20.0, -50.0),
+            Point2::new(300.0, 40.0),
+        ];
+        let mut cached = Medium::new(positions.clone(), 150.0, 0.2, 5);
+        let mut reference = Medium::new(positions, 150.0, 0.2, 5);
+        let f = request_frame(0, 1);
+        for sender in 0..3 {
+            for _ in 0..10 {
+                assert_eq!(
+                    cached.transmit(sender, &f, Cycles::ZERO),
+                    reference.transmit_reference(sender, &f, Cycles::ZERO),
+                );
+            }
+        }
     }
 
     #[test]

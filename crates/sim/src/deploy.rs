@@ -31,6 +31,15 @@ pub struct Deployment {
     config: SimConfig,
     ids: IdSpace,
     index: GridIndex,
+    // A second, much smaller index over beacons only (indices align with
+    // node indices 0..beacons). "Which beacons can this node hear?" is the
+    // hottest query in a run and scans ~10× fewer candidates here than on
+    // the full index.
+    beacon_index: GridIndex,
+    // Benign beacons that sit in a wormhole mouth, with the exit each one's
+    // signal emerges from — ascending by beacon index. `Wormhole::exit_for`
+    // is pure geometry over static positions, so it is computed once.
+    wormhole_exits: Vec<(u32, Point2)>,
     kinds: Vec<NodeKind>,
     compromised: Vec<Option<CompromisedBeacon>>,
     wormhole: Option<Wormhole>,
@@ -49,6 +58,11 @@ impl Deployment {
         let mut rng = StdRng::seed_from_u64(subseed(seed, b"deploy"));
         let positions = deploy::uniform_with(&field, config.nodes as usize, &mut rng);
         let index = GridIndex::build(&field, config.range_ft, positions.iter().copied());
+        let beacon_index = GridIndex::build(
+            &field,
+            config.range_ft,
+            positions.iter().take(config.beacons as usize).copied(),
+        );
 
         // Pick the compromised subset of beacons.
         let mut beacon_indices: Vec<u32> = (0..config.beacons).collect();
@@ -80,6 +94,16 @@ impl Deployment {
         let wormhole = config
             .wormhole
             .map(|(a, b)| Wormhole::new(a, b, Cycles::ZERO));
+        let wormhole_exits = match &wormhole {
+            Some(w) => (0..config.beacons)
+                .filter(|&v| kinds[v as usize] == NodeKind::BenignBeacon)
+                .filter_map(|v| {
+                    w.exit_for(positions[v as usize], config.range_ft)
+                        .map(|exit| (v, exit))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
 
         let ids = IdSpace::new(config.beacons, config.non_beacons(), config.detecting_ids);
 
@@ -87,6 +111,8 @@ impl Deployment {
             config,
             ids,
             index,
+            beacon_index,
+            wormhole_exits,
             kinds,
             compromised,
             wormhole,
@@ -138,6 +164,28 @@ impl Deployment {
             .collect()
     }
 
+    /// Fills `out` with the beacons within radio range of node `i`
+    /// (excluding `i` itself), sorted ascending — exactly
+    /// `neighbors(i)` filtered to beacon indices, but scanning only the
+    /// beacon-only index and reusing the caller's buffer.
+    pub fn beacons_in_range_into(&self, i: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.beacon_index
+                .within_iter(self.position(i), self.config.range_ft)
+                .map(|v| v as u32),
+        );
+        out.sort_unstable();
+        out.retain(|&v| v != i);
+    }
+
+    /// Benign beacons whose signals a wormhole carries, paired with the
+    /// tunnel exit each signal emerges from, ascending by beacon index.
+    /// Empty when no wormhole is configured.
+    pub fn wormhole_exits(&self) -> &[(u32, Point2)] {
+        &self.wormhole_exits
+    }
+
     /// All beacon indices of a kind.
     pub fn beacons_of_kind(&self, kind: NodeKind) -> Vec<u32> {
         (0..self.config.beacons)
@@ -153,8 +201,15 @@ impl Deployment {
     /// Mean number of requesting nodes within range of a beacon — the
     /// empirical `N_c` used to parameterise the theory overlay.
     pub fn mean_requesters_per_beacon(&self) -> f64 {
+        // Counting (rather than materializing) the neighbour set gives the
+        // same integer total without allocating per beacon; the -1 removes
+        // the beacon itself, which `count_within` includes.
         let total: usize = (0..self.config.beacons)
-            .map(|b| self.neighbors(b).len())
+            .map(|b| {
+                self.index
+                    .count_within(self.position(b), self.config.range_ft)
+                    - 1
+            })
             .sum();
         total as f64 / self.config.beacons as f64
     }
@@ -242,6 +297,33 @@ mod tests {
             got > expected * 0.6 && got < expected * 1.1,
             "got {got}, expected around {expected}"
         );
+    }
+
+    #[test]
+    fn beacons_in_range_into_matches_filtered_neighbors() {
+        let d = Deployment::generate(small_config(), 8);
+        let mut scratch = vec![u32::MAX; 4]; // stale garbage must be cleared
+        for i in (0..300).step_by(23) {
+            let expected: Vec<u32> = d.neighbors(i).into_iter().filter(|&v| v < 30).collect();
+            d.beacons_in_range_into(i, &mut scratch);
+            assert_eq!(scratch, expected, "node {i}");
+        }
+    }
+
+    #[test]
+    fn wormhole_exits_match_exit_for() {
+        let d = Deployment::generate(small_config(), 12);
+        let w = d.wormhole().expect("configured");
+        let range = d.config().range_ft;
+        let expected: Vec<(u32, Point2)> = (0..d.config().beacons)
+            .filter(|&v| d.kind(v) == NodeKind::BenignBeacon)
+            .filter_map(|v| w.exit_for(d.position(v), range).map(|e| (v, e)))
+            .collect();
+        assert_eq!(d.wormhole_exits(), expected.as_slice());
+        assert!(d.wormhole_exits().windows(2).all(|p| p[0].0 < p[1].0));
+        let mut no_w = small_config();
+        no_w.wormhole = None;
+        assert!(Deployment::generate(no_w, 12).wormhole_exits().is_empty());
     }
 
     #[test]

@@ -85,6 +85,22 @@ impl Experiment {
     /// randomness, so observed and unobserved runs produce identical
     /// outcomes.
     pub fn run_observed(&self, telemetry: &Obs) -> (SimOutcome, Trace) {
+        self.run_impl(telemetry, true)
+    }
+
+    /// The pre-optimization run: allocating neighbour queries, per-pop heap
+    /// maintenance and a two-pass impact computation. Kept so the perf
+    /// regression harness (`benches/hot_paths.rs`) can measure an honest
+    /// before/after ratio, and so `tests/equivalence.rs` can prove the
+    /// optimized path produces bit-identical outcomes. Both paths draw from
+    /// the same seeded RNG streams in the same order.
+    ///
+    /// Not for production use — call [`Experiment::run`] instead.
+    pub fn run_reference(&self) -> SimOutcome {
+        self.run_impl(&Obs::disabled(), false).0
+    }
+
+    fn run_impl(&self, telemetry: &Obs, optimized: bool) -> (SimOutcome, Trace) {
         let mut trace = Trace::new();
         let d = &self.deployment;
         let cfg = d.config();
@@ -105,22 +121,41 @@ impl Experiment {
         telemetry.emit("phase", &[("name", Value::Str("detection".to_string()))]);
         let detection_span = telemetry.span("phase.detection");
         let detectors = d.beacons_of_kind(NodeKind::BenignBeacon);
+        // Scratch buffer reused for every audible-beacon query in the run.
+        let mut audible: Vec<u32> = Vec::new();
         let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
         for &u in &detectors {
-            for v in self.audible_beacons(u) {
+            if optimized {
+                self.audible_beacons_into(u, &mut audible);
+            } else {
+                audible = self.audible_beacons(u);
+            }
+            for &v in &audible {
                 queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (u, v));
             }
         }
         let mut benign_alerts: Vec<Alert> = Vec::new();
-        while let Some((_, (u, v))) = queue.pop() {
-            for k in 0..cfg.detecting_ids {
-                let wire = d.ids().detecting_id(u, k);
-                let Some(result) = ctx.probe(u, wire, v, &mut probe_rng) else {
-                    break;
-                };
-                if result.outcome.raises_alert() {
-                    benign_alerts.push(Alert::new(NodeId(u), NodeId(v)));
-                    break; // one alert per (detector, target)
+        {
+            let mut handle = |u: u32, v: u32| {
+                for k in 0..cfg.detecting_ids {
+                    let wire = d.ids().detecting_id(u, k);
+                    let Some(result) = ctx.probe(u, wire, v, &mut probe_rng) else {
+                        break;
+                    };
+                    if result.outcome.raises_alert() {
+                        benign_alerts.push(Alert::new(NodeId(u), NodeId(v)));
+                        break; // one alert per (detector, target)
+                    }
+                }
+            };
+            if optimized {
+                // One sort instead of per-pop heap maintenance; same order.
+                for (_, (u, v)) in queue.drain_ordered() {
+                    handle(u, v);
+                }
+            } else {
+                while let Some((_, (u, v))) = queue.pop() {
+                    handle(u, v);
                 }
             }
         }
@@ -132,29 +167,45 @@ impl Experiment {
         let location_span = telemetry.span("phase.location");
         let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
         for w in d.sensors() {
-            for v in self.audible_beacons(w) {
+            if optimized {
+                self.audible_beacons_into(w, &mut audible);
+            } else {
+                audible = self.audible_beacons(w);
+            }
+            for &v in &audible {
                 queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (w, v));
             }
         }
         let mut kept: Vec<Vec<KeptReference>> = vec![Vec::new(); cfg.nodes as usize];
         // poisoned[v] = sensors that accepted a malicious signal from v.
         let mut poisoned: Vec<Vec<u32>> = vec![Vec::new(); cfg.beacons as usize];
-        while let Some((_, (w, v))) = queue.pop() {
-            let Some(result) = ctx.probe(w, NodeId(w), v, &mut probe_rng) else {
-                continue;
+        {
+            let mut handle = |w: u32, v: u32| {
+                let Some(result) = ctx.probe(w, NodeId(w), v, &mut probe_rng) else {
+                    return;
+                };
+                if !result.accepted_for_localization {
+                    return;
+                }
+                kept[w as usize].push(KeptReference {
+                    beacon: v,
+                    reference: LocationReference::new(
+                        result.observation.declared_position,
+                        result.observation.measured_distance_ft,
+                    ),
+                });
+                if result.action == Some(Action::MaliciousSignal) {
+                    poisoned[v as usize].push(w);
+                }
             };
-            if !result.accepted_for_localization {
-                continue;
-            }
-            kept[w as usize].push(KeptReference {
-                beacon: v,
-                reference: LocationReference::new(
-                    result.observation.declared_position,
-                    result.observation.measured_distance_ft,
-                ),
-            });
-            if result.action == Some(Action::MaliciousSignal) {
-                poisoned[v as usize].push(w);
+            if optimized {
+                for (_, (w, v)) in queue.drain_ordered() {
+                    handle(w, v);
+                }
+            } else {
+                while let Some((_, (w, v))) = queue.pop() {
+                    handle(w, v);
+                }
             }
         }
         telemetry.add(
@@ -312,6 +363,57 @@ impl Experiment {
             (n > 0).then(|| sum / n as f64)
         };
 
+        // Single pass over the sensors with reused scratch buffers; when
+        // revocation removed none of a sensor's references the second
+        // (filtered) estimate is the same pure function of the same inputs,
+        // so the first result is reused instead of recomputed. The per-
+        // accumulator addition order matches the two-pass reference, so the
+        // means are bit-identical.
+        let mean_errors_single_pass = || -> (Option<f64>, Option<f64>) {
+            let (mut sum_b, mut n_b) = (0.0f64, 0usize);
+            let (mut sum_a, mut n_a) = (0.0f64, 0usize);
+            let mut refs: Vec<LocationReference> = Vec::new();
+            let mut refs_kept: Vec<LocationReference> = Vec::new();
+            for w in d.sensors() {
+                let ks = &kept[w as usize];
+                refs.clear();
+                refs.extend(ks.iter().map(|k| k.reference));
+                refs_kept.clear();
+                refs_kept.extend(
+                    ks.iter()
+                        .filter(|k| !station.is_revoked(NodeId(k.beacon)))
+                        .map(|k| k.reference),
+                );
+                let est_before = (refs.len() >= estimator.min_references())
+                    .then(|| estimator.estimate(&refs).ok())
+                    .flatten();
+                if let Some(est) = &est_before {
+                    sum_b += field.clamp(est.position).distance(d.position(w));
+                    n_b += 1;
+                }
+                let est_after = if refs_kept.len() == refs.len() {
+                    est_before // nothing filtered: identical inputs
+                } else if refs_kept.len() >= estimator.min_references() {
+                    estimator.estimate(&refs_kept).ok()
+                } else {
+                    None
+                };
+                if let Some(est) = est_after {
+                    sum_a += field.clamp(est.position).distance(d.position(w));
+                    n_a += 1;
+                }
+            }
+            (
+                (n_b > 0).then(|| sum_b / n_b as f64),
+                (n_a > 0).then(|| sum_a / n_a as f64),
+            )
+        };
+        let (err_before, err_after) = if optimized {
+            mean_errors_single_pass()
+        } else {
+            (mean_error(false), mean_error(true))
+        };
+
         let outcome = SimOutcome {
             malicious_total: malicious.len() as u32,
             benign_total: benign.len() as u32,
@@ -322,8 +424,8 @@ impl Experiment {
             benign_alerts: benign_alert_count,
             collusion_alerts,
             mean_requesters_per_beacon: d.mean_requesters_per_beacon(),
-            mean_loc_error_before_ft: mean_error(false),
-            mean_loc_error_after_ft: mean_error(true),
+            mean_loc_error_before_ft: err_before,
+            mean_loc_error_after_ft: err_after,
         };
         impact_span.finish();
         telemetry.set_gauge("sim.revoked_malicious", outcome.revoked_malicious as i64);
@@ -357,6 +459,10 @@ impl Experiment {
 
     /// Beacons a node can hear: direct neighbours plus benign beacons
     /// reachable through the wormhole.
+    ///
+    /// Pre-optimization version: allocates the result and scans every
+    /// beacon for wormhole reachability. Used only by the reference path;
+    /// the optimized run uses [`Experiment::audible_beacons_into`].
     fn audible_beacons(&self, node: u32) -> Vec<u32> {
         let d = &self.deployment;
         let cfg = d.config();
@@ -378,6 +484,29 @@ impl Experiment {
             }
         }
         targets
+    }
+
+    /// Allocation-free [`Experiment::audible_beacons`]: clears `out` and
+    /// fills it with the same beacons in the same order — direct
+    /// neighbours ascending (from the beacon-only index), then
+    /// wormhole-carried benign beacons ascending (from the precomputed
+    /// exit list).
+    fn audible_beacons_into(&self, node: u32, out: &mut Vec<u32>) {
+        let d = &self.deployment;
+        let cfg = d.config();
+        d.beacons_in_range_into(node, out);
+        if !d.wormhole_exits().is_empty() {
+            let my_pos = d.position(node);
+            for &(v, exit) in d.wormhole_exits() {
+                if v == node {
+                    continue;
+                }
+                let vp = d.position(v);
+                if my_pos.distance(vp) > cfg.range_ft && exit.distance(my_pos) <= cfg.range_ft {
+                    out.push(v);
+                }
+            }
+        }
     }
 }
 

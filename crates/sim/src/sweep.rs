@@ -117,8 +117,14 @@ mod tests {
 
     #[test]
     fn auto_variant_agrees() {
-        let seeds: Vec<u64> = (0..4).collect();
-        assert_eq!(run_seeds_auto(&cfg(), &seeds), run_seeds(&cfg(), &seeds, 1));
+        // `run_seeds_auto` picks whatever parallelism the host offers, so
+        // pin it against both the serial loop and an explicitly
+        // multi-threaded run: on a single-core host the old serial-only
+        // assertion never exercised the threaded path at all.
+        let seeds: Vec<u64> = (0..6).collect();
+        let auto = run_seeds_auto(&cfg(), &seeds);
+        assert_eq!(auto, run_seeds(&cfg(), &seeds, 1), "auto vs serial");
+        assert_eq!(auto, run_seeds(&cfg(), &seeds, 3), "auto vs 3 threads");
     }
 
     #[test]
