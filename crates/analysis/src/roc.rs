@@ -82,6 +82,71 @@ impl RocModel {
     }
 }
 
+/// One *measured* operating point: detection and false-positive rates
+/// averaged over seeded simulation runs at a given severity of some
+/// degradation (noise figure, burst-loss severity, …).
+///
+/// The closed-form [`RocPoint`] answers "what does the theory predict";
+/// an `EmpiricalPoint` answers "what did the simulator actually do" —
+/// the robustness bench sweeps severity and reports one of these per
+/// setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalPoint {
+    /// The swept severity parameter at this point (axis defined by the
+    /// owning [`RobustnessCurve`]).
+    pub severity: f64,
+    /// Mean detection rate across runs.
+    pub detection_rate: f64,
+    /// Mean false positive rate across runs.
+    pub false_positive_rate: f64,
+    /// Runs averaged into this point.
+    pub runs: u32,
+}
+
+/// A named curve of [`EmpiricalPoint`]s over one degradation axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessCurve {
+    /// What the severity axis measures, e.g. `"noise_figure"`.
+    pub axis: String,
+    /// The measured points, in sweep order.
+    pub points: Vec<EmpiricalPoint>,
+}
+
+impl RobustnessCurve {
+    /// An empty curve over `axis`.
+    pub fn new(axis: impl Into<String>) -> Self {
+        RobustnessCurve {
+            axis: axis.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a measured point.
+    pub fn push(&mut self, point: EmpiricalPoint) {
+        self.points.push(point);
+    }
+
+    /// The worst (lowest) detection rate anywhere on the curve.
+    pub fn worst_detection_rate(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.detection_rate)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Total detection-rate drop from the first point (the baseline
+    /// severity) to the last (the harshest) — positive when the
+    /// degradation hurts.
+    pub fn detection_drop(&self) -> Option<f64> {
+        match (self.points.first(), self.points.last()) {
+            (Some(first), Some(last)) if self.points.len() >= 2 => {
+                Some(first.detection_rate - last.detection_rate)
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +207,24 @@ mod tests {
         // Detection is tau-independent in the closed form (tau only caps
         // reporters, which the analysis assumes non-binding).
         assert!((t4.detection_rate - t2.detection_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_curve_summaries() {
+        let mut c = RobustnessCurve::new("noise_figure");
+        assert!(c.worst_detection_rate().is_none());
+        assert!(c.detection_drop().is_none());
+        for (severity, det) in [(1.0, 0.9), (2.0, 0.7), (3.0, 0.4)] {
+            c.push(EmpiricalPoint {
+                severity,
+                detection_rate: det,
+                false_positive_rate: 0.02,
+                runs: 5,
+            });
+        }
+        assert_eq!(c.axis, "noise_figure");
+        assert_eq!(c.worst_detection_rate(), Some(0.4));
+        assert!((c.detection_drop().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]

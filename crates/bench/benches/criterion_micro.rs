@@ -13,7 +13,7 @@ use secloc_geometry::Point2;
 use secloc_localization::{Estimator, LocationReference, MmseEstimator};
 use secloc_radio::timing::RttModel;
 use secloc_radio::Cycles;
-use secloc_sim::{Experiment, SimConfig};
+use secloc_sim::{RunOptions, Runner, SimConfig};
 
 fn bench_crypto(c: &mut Criterion) {
     let key = Key::from_u128(0x1234_5678_9abc_def0);
@@ -89,7 +89,9 @@ fn bench_simulation(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            Experiment::new(cfg.clone(), seed).run()
+            Runner::new(cfg.clone(), seed)
+                .run(RunOptions::new())
+                .outcome
         })
     });
 }

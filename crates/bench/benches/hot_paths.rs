@@ -2,15 +2,17 @@
 //!
 //! Measures before/after pairs on the same binary — the pre-optimization
 //! implementations are preserved as `GridIndex::within` (allocating),
-//! `Medium::transmit_reference` and `Experiment::run_reference` — so the
+//! `Medium::transmit_reference` and `RunOptions::reference()` — so the
 //! ratios are honest and machine-independent:
 //!
 //! 1. **grid queries** — allocating `within` vs scratch-buffer
 //!    `within_into` over every node position at paper scale;
 //! 2. **radio transmit** — linear-scan `transmit_reference` vs cached
 //!    `transmit_into` on a 1000-node medium with wormhole taps;
-//! 3. **full run** — `run_reference` vs `run` at `SimConfig::paper_default`
-//!    scale, plus per-phase p50/p90/p99 from observed optimized runs.
+//! 3. **full run** — the reference path vs the optimized path (via
+//!    `Runner::run` with and without `RunOptions::reference()`) at
+//!    `SimConfig::paper_default` scale, plus per-phase p50/p90/p99 from
+//!    observed optimized runs.
 //!
 //! Writes `results/BENCH_perf.json`. The acceptance bar is a full-run
 //! throughput ratio ≥ 2.0. Pass `--quick` (the CI perf-smoke mode) to cut
@@ -22,7 +24,7 @@ use secloc_obs::{MetricsRegistry, Obs};
 use secloc_radio::medium::{Medium, Tap};
 use secloc_radio::{Cycles, Frame, FrameBody, RequestPayload};
 use secloc_sim::report::PHASE_NAMES;
-use secloc_sim::{Deployment, Experiment, SimConfig};
+use secloc_sim::{Deployment, RunOptions, Runner, SimConfig};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -156,10 +158,10 @@ fn bench_transmit(deployment: &Deployment, rounds: u32) -> Section {
 fn bench_full_run(cfg: &SimConfig, runs: u64, registry: &Arc<MetricsRegistry>) -> Section {
     // Same seeds on both sides; deployment generation is outside the timed
     // region (it is identical work for both paths).
-    let experiments: Vec<Experiment> = (0..runs).map(|s| Experiment::new(cfg.clone(), s)).collect();
+    let runners: Vec<Runner> = (0..runs).map(|s| Runner::new(cfg.clone(), s)).collect();
     let before_ns = time(|| {
-        for e in &experiments {
-            black_box(e.run_reference());
+        for r in &runners {
+            black_box(r.run(RunOptions::new().reference()));
         }
     });
     // The optimized side runs observed so the per-phase histograms in
@@ -168,8 +170,8 @@ fn bench_full_run(cfg: &SimConfig, runs: u64, registry: &Arc<MetricsRegistry>) -
     // ratio.
     let telemetry = Obs::with_metrics(registry.clone());
     let after_ns = time(|| {
-        for e in &experiments {
-            black_box(e.run_observed(&telemetry));
+        for r in &runners {
+            black_box(r.run(RunOptions::new().traced().observed(&telemetry)));
         }
     });
     Section {
@@ -197,10 +199,10 @@ fn main() {
 
     // Equivalence gate: a speedup that changes the answer is a bug, not a
     // result. One full paper-scale run through both paths must agree.
-    let probe = Experiment::new(cfg.clone(), 7);
+    let probe = Runner::new(cfg.clone(), 7);
     assert_eq!(
-        probe.run(),
-        probe.run_reference(),
+        probe.run(RunOptions::new()).outcome,
+        probe.run(RunOptions::new().reference()).outcome,
         "optimized and reference runs diverged — ratios are meaningless"
     );
 

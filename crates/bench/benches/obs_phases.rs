@@ -11,7 +11,7 @@
 use secloc_bench::{banner, results_dir};
 use secloc_obs::{MetricsRegistry, Obs};
 use secloc_sim::report::PHASE_NAMES;
-use secloc_sim::{Experiment, SimConfig};
+use secloc_sim::{RunOptions, Runner, SimConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,7 +38,8 @@ fn main() {
     let disabled = Obs::disabled();
     let start = Instant::now();
     for seed in 0..RUNS {
-        let _ = Experiment::new_observed(config(), seed, &disabled).run_observed(&disabled);
+        let _ = Runner::new_observed(config(), seed, &disabled)
+            .run(RunOptions::new().traced().observed(&disabled));
     }
     let disabled_ns = start.elapsed().as_nanos() as u64;
 
@@ -47,7 +48,8 @@ fn main() {
     let telemetry = Obs::with_metrics(registry.clone());
     let start = Instant::now();
     for seed in 0..RUNS {
-        let _ = Experiment::new_observed(config(), seed, &telemetry).run_observed(&telemetry);
+        let _ = Runner::new_observed(config(), seed, &telemetry)
+            .run(RunOptions::new().traced().observed(&telemetry));
     }
     let observed_ns = start.elapsed().as_nanos() as u64;
 

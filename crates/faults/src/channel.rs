@@ -1,0 +1,100 @@
+//! The alert-path loss channel, uniform or bursty.
+
+use crate::FaultPlan;
+use rand::Rng;
+use secloc_radio::loss::{BernoulliLoss, GilbertElliottLoss, LossModel};
+
+/// The loss process on the multi-hop alert path to the base station.
+///
+/// [`AlertChannel::Uniform`] is the status quo: independent Bernoulli loss
+/// at the configured `alert_loss_rate`, drawing exactly like the loss
+/// model it replaces — a plan without burst loss is therefore
+/// draw-for-draw identical to the pre-fault-injection simulator.
+/// [`AlertChannel::Burst`] swaps in a Gilbert–Elliott channel whose fades
+/// swallow whole retransmission budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlertChannel {
+    /// Independent per-packet loss.
+    Uniform(BernoulliLoss),
+    /// Bursty two-state loss.
+    Burst(GilbertElliottLoss),
+}
+
+impl AlertChannel {
+    /// Resolves the channel for `plan`: the plan's burst spec if present,
+    /// otherwise uniform loss at `base_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec parameters are out of range (callers validate
+    /// plans up front via [`FaultPlan::validate`]).
+    pub fn from_plan(plan: &FaultPlan, base_rate: f64) -> Self {
+        match &plan.burst_loss {
+            Some(spec) => AlertChannel::Burst(spec.channel()),
+            None => AlertChannel::Uniform(BernoulliLoss::new(base_rate)),
+        }
+    }
+}
+
+impl LossModel for AlertChannel {
+    fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self {
+            AlertChannel::Uniform(m) => m.is_lost(rng),
+            AlertChannel::Burst(m) => m.is_lost(rng),
+        }
+    }
+
+    fn long_run_loss_rate(&self) -> f64 {
+        match self {
+            AlertChannel::Uniform(m) => m.long_run_loss_rate(),
+            AlertChannel::Burst(m) => m.long_run_loss_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BurstLossSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_plan_draws_exactly_like_bernoulli() {
+        let mut channel = AlertChannel::from_plan(&FaultPlan::default(), 0.3);
+        let mut bare = BernoulliLoss::new(0.3);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        for i in 0..5000 {
+            assert_eq!(
+                channel.is_lost(&mut rng_a),
+                bare.is_lost(&mut rng_b),
+                "draw {i} diverged"
+            );
+        }
+        // Same number of draws consumed: the streams stay aligned.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        assert_eq!(channel.long_run_loss_rate(), 0.3);
+    }
+
+    #[test]
+    fn burst_plan_selects_gilbert_elliott() {
+        let plan = FaultPlan::default().with_burst_loss(BurstLossSpec::mild());
+        let channel = AlertChannel::from_plan(&plan, 0.1);
+        assert!(matches!(channel, AlertChannel::Burst(_)));
+        let spec = BurstLossSpec::mild();
+        assert!((channel.long_run_loss_rate() - spec.long_run_loss_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_channel_loses_in_bursts() {
+        let plan = FaultPlan::default().with_burst_loss(BurstLossSpec::severe());
+        let mut channel = AlertChannel::from_plan(&plan, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let seq: Vec<bool> = (0..100_000).map(|_| channel.is_lost(&mut rng)).collect();
+        let uncond = seq.iter().filter(|&&l| l).count() as f64 / seq.len() as f64;
+        let after: Vec<bool> = seq.windows(2).filter(|w| w[0]).map(|w| w[1]).collect();
+        let cond = after.iter().filter(|&&l| l).count() as f64 / after.len() as f64;
+        assert!(cond > uncond * 1.2, "not bursty: {cond:.3} vs {uncond:.3}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Fault injection for degraded-channel experiments.
+//!
+//! The reproduced paper evaluates its detectors under a benign channel:
+//! §2.1's consistency threshold `ε_max` and §2.2's RTT replay filter assume
+//! tight, well-behaved noise, and §4 simulates uniform packet loss only.
+//! Follow-up work (secure position verification in noisy channels,
+//! RSSI-based localization with malicious nodes) shows this is exactly
+//! where such schemes fray. This crate supplies the degradations:
+//!
+//! - [`BurstLossSpec`] — bursty alert-channel loss via the two-state
+//!   Gilbert–Elliott channel ([`secloc_radio::loss::GilbertElliottLoss`]),
+//!   replacing the uniform Bernoulli loss on the alert path;
+//! - [`NoiseRegion`] / [`NoiseField`] — spatially non-uniform ranging
+//!   noise: per-region multipliers on the maximum ranging error, so parts
+//!   of the field violate the detector's `ε_max` premise;
+//! - [`ClockDriftSpec`] / [`DriftTable`] — per-node clock skew added to
+//!   every measured RTT, eroding the replay filter's margin;
+//! - [`ChurnSpec`] / [`ChurnSchedule`] — beacons dying (and possibly
+//!   rebooting) mid-run on a seeded schedule.
+//!
+//! Everything is gathered into a [`FaultPlan`], plain data threaded through
+//! the simulator's `SimConfig`. Two invariants the simulator relies on:
+//!
+//! 1. **Empty plan ⇒ bit-identity.** A default [`FaultPlan`] injects
+//!    nothing and consumes no randomness, so a run under it is
+//!    bit-identical to a run without fault support at all (enforced by
+//!    `crates/sim/tests/equivalence.rs`).
+//! 2. **Stream isolation.** Every fault model draws from its own seeded
+//!    RNG stream (derived by label from the master seed), never from the
+//!    simulation's probe/order/loss streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod churn;
+mod drift;
+mod noise;
+mod plan;
+
+pub use channel::AlertChannel;
+pub use churn::{ChurnSchedule, ChurnSpec, Outage};
+pub use drift::{ClockDriftSpec, DriftTable};
+pub use noise::{NoiseField, NoiseRegion};
+pub use plan::{BurstLossSpec, FaultError, FaultPlan};

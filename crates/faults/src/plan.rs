@@ -1,0 +1,296 @@
+//! The [`FaultPlan`] aggregate and its validation.
+
+use crate::{ChurnSpec, NoiseRegion};
+use secloc_radio::loss::{GilbertElliottLoss, LossModel};
+use std::fmt;
+
+/// Bursty loss on the alert path: parameters of a Gilbert–Elliott channel
+/// that replaces the uniform `alert_loss_rate` Bernoulli loss.
+///
+/// The channel starts in the good state; transitions happen per packet.
+/// Burstiness stresses retransmission budgets far harder than independent
+/// loss at the same long-run rate, because retries land inside the same
+/// bad period that ate the original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLossSpec {
+    /// Loss probability while the channel is good.
+    pub good_loss: f64,
+    /// Loss probability while the channel is bad.
+    pub bad_loss: f64,
+    /// Per-packet transition probability good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-packet transition probability bad → good.
+    pub p_bad_to_good: f64,
+}
+
+impl BurstLossSpec {
+    /// Mild fading: ~10% long-run loss concentrated in short bursts.
+    pub fn mild() -> Self {
+        BurstLossSpec {
+            good_loss: 0.02,
+            bad_loss: 0.5,
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.25,
+        }
+    }
+
+    /// Severe fading: long deep fades where almost nothing gets through.
+    pub fn severe() -> Self {
+        BurstLossSpec {
+            good_loss: 0.05,
+            bad_loss: 0.95,
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.1,
+        }
+    }
+
+    /// Instantiates the channel (fresh, in the good state).
+    pub fn channel(&self) -> GilbertElliottLoss {
+        GilbertElliottLoss::new(
+            self.good_loss,
+            self.bad_loss,
+            self.p_good_to_bad,
+            self.p_bad_to_good,
+        )
+    }
+
+    /// Long-run loss rate of the specified channel.
+    pub fn long_run_loss_rate(&self) -> f64 {
+        self.channel().long_run_loss_rate()
+    }
+
+    /// Checks the spec's parameters for internal consistency.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (field, v) in [
+            ("burst_loss.good_loss", self.good_loss),
+            ("burst_loss.bad_loss", self.bad_loss),
+            ("burst_loss.p_good_to_bad", self.p_good_to_bad),
+            ("burst_loss.p_bad_to_good", self.p_bad_to_good),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(FaultError::ProbabilityOutOfRange { field, value: v });
+            }
+        }
+        if self.p_good_to_bad + self.p_bad_to_good <= 0.0 {
+            return Err(FaultError::DegenerateBurstChannel);
+        }
+        Ok(())
+    }
+}
+
+/// Everything that can go wrong in one run, as plain data.
+///
+/// The default plan is empty ([`FaultPlan::is_empty`]) and injects
+/// nothing; the simulator guarantees a run under it is bit-identical to a
+/// fault-free run. Build non-trivial plans with the `with_*` methods:
+///
+/// ```
+/// use secloc_faults::{BurstLossSpec, ChurnSpec, FaultPlan, NoiseRegion};
+/// use secloc_geometry::Point2;
+///
+/// let plan = FaultPlan::default()
+///     .with_burst_loss(BurstLossSpec::mild())
+///     .with_noise_region(NoiseRegion::disc(Point2::new(500.0, 500.0), 200.0, 2.0))
+///     .with_clock_drift(400)
+///     .with_churn(ChurnSpec::random(0.1, 0.5));
+/// assert!(plan.validate().is_ok());
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Bursty alert-channel loss, replacing the uniform Bernoulli loss.
+    pub burst_loss: Option<BurstLossSpec>,
+    /// Regions of elevated ranging noise (later regions win on overlap).
+    pub noise_regions: Vec<NoiseRegion>,
+    /// Per-node clock skew fed into every measured RTT.
+    pub clock_drift: Option<crate::ClockDriftSpec>,
+    /// Beacons dying (and possibly rebooting) mid-run.
+    pub churn: Option<ChurnSpec>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (same as `FaultPlan::default()`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.burst_loss.is_none()
+            && self.noise_regions.is_empty()
+            && self.clock_drift.is_none()
+            && self.churn.is_none()
+    }
+
+    /// Replaces the alert-channel loss with a bursty channel.
+    pub fn with_burst_loss(mut self, spec: BurstLossSpec) -> Self {
+        self.burst_loss = Some(spec);
+        self
+    }
+
+    /// Adds a region of elevated ranging noise.
+    pub fn with_noise_region(mut self, region: NoiseRegion) -> Self {
+        self.noise_regions.push(region);
+        self
+    }
+
+    /// Enables per-node clock skew up to `max_skew_cycles`.
+    pub fn with_clock_drift(mut self, max_skew_cycles: u64) -> Self {
+        self.clock_drift = Some(crate::ClockDriftSpec { max_skew_cycles });
+        self
+    }
+
+    /// Enables beacon churn.
+    pub fn with_churn(mut self, spec: ChurnSpec) -> Self {
+        self.churn = Some(spec);
+        self
+    }
+
+    /// Checks every sub-spec for internal consistency.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        if let Some(b) = &self.burst_loss {
+            b.validate()?;
+        }
+        for r in &self.noise_regions {
+            r.validate()?;
+        }
+        if let Some(c) = &self.churn {
+            c.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A probability parameter left `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which parameter.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Both Gilbert–Elliott transition probabilities are zero.
+    DegenerateBurstChannel,
+    /// A noise region's figure must be positive and finite.
+    NonPositiveNoiseFigure(f64),
+    /// A noise region's radius must be positive and finite.
+    NonPositiveNoiseRadius(f64),
+    /// A scheduled outage window is empty or starts outside `[0, 1)`.
+    BadOutageWindow {
+        /// The beacon the window targets.
+        node: u32,
+        /// Window start as a fraction of the run.
+        from: f64,
+        /// Window end as a fraction of the run.
+        until: f64,
+    },
+    /// Churn's `max_downtime_frac` must lie in `(0, 1]` when random
+    /// outages are enabled.
+    BadDowntimeFraction(f64),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0,1], got {value}")
+            }
+            FaultError::DegenerateBurstChannel => {
+                write!(
+                    f,
+                    "burst channel transition probabilities cannot both be zero"
+                )
+            }
+            FaultError::NonPositiveNoiseFigure(v) => {
+                write!(f, "noise figure must be positive and finite, got {v}")
+            }
+            FaultError::NonPositiveNoiseRadius(v) => {
+                write!(
+                    f,
+                    "noise region radius must be positive and finite, got {v}"
+                )
+            }
+            FaultError::BadOutageWindow { node, from, until } => {
+                write!(
+                    f,
+                    "outage window for beacon {node} is invalid: [{from}, {until})"
+                )
+            }
+            FaultError::BadDowntimeFraction(v) => {
+                write!(f, "max_downtime_frac must be in (0,1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secloc_geometry::Point2;
+
+    #[test]
+    fn default_plan_is_empty_and_valid() {
+        let p = FaultPlan::default();
+        assert!(p.is_empty());
+        assert!(p.validate().is_ok());
+        assert_eq!(p, FaultPlan::none());
+    }
+
+    #[test]
+    fn builders_populate_and_unempty() {
+        let p = FaultPlan::default().with_burst_loss(BurstLossSpec::mild());
+        assert!(!p.is_empty());
+        let p = FaultPlan::default().with_clock_drift(100);
+        assert!(!p.is_empty());
+        let p = FaultPlan::default().with_noise_region(NoiseRegion::disc(
+            Point2::new(0.0, 0.0),
+            10.0,
+            2.0,
+        ));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn bad_burst_probability_rejected() {
+        let p = FaultPlan::default().with_burst_loss(BurstLossSpec {
+            bad_loss: 1.5,
+            ..BurstLossSpec::mild()
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(FaultError::ProbabilityOutOfRange { field, .. }) if field == "burst_loss.bad_loss"
+        ));
+    }
+
+    #[test]
+    fn degenerate_burst_channel_rejected() {
+        let p = FaultPlan::default().with_burst_loss(BurstLossSpec {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+            ..BurstLossSpec::mild()
+        });
+        assert_eq!(p.validate(), Err(FaultError::DegenerateBurstChannel));
+    }
+
+    #[test]
+    fn long_run_rate_matches_stationary_mix() {
+        let s = BurstLossSpec::mild();
+        let pb = s.p_good_to_bad / (s.p_good_to_bad + s.p_bad_to_good);
+        let expected = pb * s.bad_loss + (1.0 - pb) * s.good_loss;
+        assert!((s.long_run_loss_rate() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = FaultError::BadOutageWindow {
+            node: 3,
+            from: 0.5,
+            until: 0.2,
+        };
+        assert!(e.to_string().contains("beacon 3"));
+    }
+}

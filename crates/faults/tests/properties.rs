@@ -1,0 +1,96 @@
+//! Property tests for the fault models.
+//!
+//! The load-bearing one: a Gilbert–Elliott channel that can never leave
+//! the good state (`p_good_to_bad = 0`) must degenerate to Bernoulli loss
+//! at the good-state rate — not just in distribution but **draw for
+//! draw**, consuming the same RNG stream the same way. That is what lets
+//! the simulator promise that an empty fault plan is bit-identical to the
+//! uniform-loss channel it replaces.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secloc_faults::{AlertChannel, BurstLossSpec, ChurnSchedule, ChurnSpec, FaultPlan};
+use secloc_radio::loss::{BernoulliLoss, GilbertElliottLoss, LossModel};
+
+proptest! {
+    #[test]
+    fn pinned_good_gilbert_elliott_degenerates_to_bernoulli(
+        rate in 0.0..=1.0f64,
+        p_bad_to_good in 0.001..=1.0f64,
+        seed in any::<u64>(),
+    ) {
+        // p_good_to_bad = 0: the chain starts good and stays good, and the
+        // zero-probability transition draw is skipped entirely.
+        let mut ge = GilbertElliottLoss::new(rate, 0.9, 0.0, p_bad_to_good);
+        let mut bernoulli = BernoulliLoss::new(rate);
+        let mut rng_ge = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        for i in 0..500 {
+            prop_assert_eq!(
+                ge.is_lost(&mut rng_ge),
+                bernoulli.is_lost(&mut rng_b),
+                "draw {} diverged", i
+            );
+        }
+        // Identical draw counts: the two streams are still in lock-step.
+        prop_assert_eq!(rng_ge.gen::<u64>(), rng_b.gen::<u64>());
+        prop_assert_eq!(ge.long_run_loss_rate(), rate);
+    }
+
+    #[test]
+    fn uniform_alert_channel_matches_bernoulli(
+        rate in 0.0..=1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mut channel = AlertChannel::from_plan(&FaultPlan::default(), rate);
+        let mut bernoulli = BernoulliLoss::new(rate);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(channel.is_lost(&mut rng_a), bernoulli.is_lost(&mut rng_b));
+        }
+        prop_assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn burst_long_run_rate_is_a_probability(
+        good in 0.0..=1.0f64,
+        bad in 0.0..=1.0f64,
+        g2b in 0.001..=1.0f64,
+        b2g in 0.001..=1.0f64,
+    ) {
+        let spec = BurstLossSpec {
+            good_loss: good,
+            bad_loss: bad,
+            p_good_to_bad: g2b,
+            p_bad_to_good: b2g,
+        };
+        let plan = FaultPlan::default().with_burst_loss(spec);
+        prop_assert!(plan.validate().is_ok());
+        let r = spec.long_run_loss_rate();
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!(r >= good.min(bad) - 1e-12 && r <= good.max(bad) + 1e-12);
+    }
+
+    #[test]
+    fn churn_windows_confine_downtime(
+        rate in 0.0..=1.0f64,
+        max_down in 0.01..=1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let spec = ChurnSpec::random(rate, max_down);
+        prop_assert!(spec.validate().is_ok());
+        let s = ChurnSchedule::generate(&spec, 64, seed);
+        // At most one random outage per beacon.
+        prop_assert!(s.outage_count() <= 64);
+        // A beacon down at some instant was scheduled down — i.e. the
+        // schedule is self-consistent with itself when re-generated.
+        let again = ChurnSchedule::generate(&spec, 64, seed);
+        for b in 0..64u32 {
+            for &t in &[0.0, 0.25, 0.5, 0.75, 0.999] {
+                prop_assert_eq!(s.is_alive(b, t), again.is_alive(b, t));
+            }
+        }
+    }
+}

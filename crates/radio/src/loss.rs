@@ -106,13 +106,18 @@ impl GilbertElliottLoss {
 
 impl LossModel for GilbertElliottLoss {
     fn is_lost<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
-        // Transition first, then draw loss in the new state.
-        let flip = if self.in_bad_state {
-            rng.gen_bool(self.p_bad_to_good)
+        // Transition first, then draw loss in the new state. A
+        // zero-probability transition consumes no randomness (mirroring
+        // the `rate > 0.0` gate below), so a channel pinned to the good
+        // state (`p_good_to_bad = 0`) degenerates **draw for draw** to
+        // `BernoulliLoss::new(good_loss)` — the property fault-injection
+        // equivalence tests rely on.
+        let p_flip = if self.in_bad_state {
+            self.p_bad_to_good
         } else {
-            rng.gen_bool(self.p_good_to_bad)
+            self.p_good_to_bad
         };
-        if flip {
+        if p_flip > 0.0 && rng.gen_bool(p_flip) {
             self.in_bad_state = !self.in_bad_state;
         }
         let p = if self.in_bad_state {

@@ -95,20 +95,61 @@ pub struct Medium {
 /// to each one precomputed.
 type InRangeList = Box<[(u32, Cycles)]>;
 
+/// Why a [`Medium`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MediumError {
+    /// The radio range must be positive and finite.
+    NonPositiveRange(f64),
+    /// The per-packet loss rate must lie in `[0, 1]`.
+    LossRateOutOfRange(f64),
+}
+
+impl std::fmt::Display for MediumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MediumError::NonPositiveRange(r) => {
+                write!(f, "range must be positive, got {r}")
+            }
+            MediumError::LossRateOutOfRange(r) => {
+                write!(f, "loss rate must be in [0,1], got {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MediumError {}
+
 impl Medium {
     /// Creates a medium over static node positions.
     ///
     /// # Panics
     ///
     /// Panics unless the range is positive and the loss rate is in
-    /// `[0, 1]`.
+    /// `[0, 1]`. Fallible callers (config builders, sweep drivers) should
+    /// prefer [`Medium::try_new`].
     pub fn new(positions: Vec<Point2>, range_ft: f64, loss_rate: f64, seed: u64) -> Self {
-        assert!(
-            range_ft.is_finite() && range_ft > 0.0,
-            "range must be positive, got {range_ft}"
-        );
+        match Self::try_new(positions, range_ft, loss_rate, seed) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Medium::new`], but reports invalid parameters as a typed
+    /// [`MediumError`] instead of panicking.
+    pub fn try_new(
+        positions: Vec<Point2>,
+        range_ft: f64,
+        loss_rate: f64,
+        seed: u64,
+    ) -> Result<Self, MediumError> {
+        if !(range_ft.is_finite() && range_ft > 0.0) {
+            return Err(MediumError::NonPositiveRange(range_ft));
+        }
+        if !(0.0..=1.0).contains(&loss_rate) {
+            return Err(MediumError::LossRateOutOfRange(loss_rate));
+        }
         let n = positions.len();
-        Medium {
+        Ok(Medium {
             positions,
             range_ft,
             loss: BernoulliLoss::new(loss_rate),
@@ -121,7 +162,7 @@ impl Medium {
             tap_capture: vec![None; n],
             tap_replay: Vec::new(),
             taps_primed: true, // no taps yet, nothing to prime
-        }
+        })
     }
 
     /// Attaches traffic counters; every subsequent [`Medium::transmit`]
@@ -826,5 +867,32 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let positions = vec![Point2::new(0.0, 0.0)];
+        assert_eq!(
+            Medium::try_new(positions.clone(), 0.0, 0.1, 1).err(),
+            Some(MediumError::NonPositiveRange(0.0))
+        );
+        assert!(matches!(
+            Medium::try_new(positions.clone(), f64::NAN, 0.1, 1),
+            Err(MediumError::NonPositiveRange(r)) if r.is_nan()
+        ));
+        assert_eq!(
+            Medium::try_new(positions.clone(), 100.0, 1.5, 1).err(),
+            Some(MediumError::LossRateOutOfRange(1.5))
+        );
+        assert!(Medium::try_new(positions, 100.0, 0.5, 1).is_ok());
+        assert!(MediumError::LossRateOutOfRange(1.5)
+            .to_string()
+            .contains("[0,1]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn new_panics_via_typed_error() {
+        Medium::new(vec![Point2::new(0.0, 0.0)], -5.0, 0.1, 1);
     }
 }

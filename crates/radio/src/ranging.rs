@@ -56,6 +56,21 @@ impl BoundedRanging {
         );
         BoundedRanging { max_error_ft }
     }
+
+    /// Scales the error bound by `figure` (the regional noise-figure
+    /// convention shared with [`RssiRanging::with_noise_figure`]). Figure
+    /// 1.0 is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `figure` is positive and finite.
+    pub fn with_noise_figure(self, figure: f64) -> Self {
+        assert!(
+            figure.is_finite() && figure > 0.0,
+            "noise figure must be positive, got {figure}"
+        );
+        BoundedRanging::new(self.max_error_ft * figure)
+    }
 }
 
 impl Ranging for BoundedRanging {
@@ -105,6 +120,27 @@ impl RssiRanging {
             max_error_ft: 10.0,
             reference_ft: 3.0,
             power_at_reference_dbm: -45.0,
+        }
+    }
+
+    /// Scales the noise of this configuration by `figure`: the shadowing
+    /// deviation and the achieved error bound both grow (or shrink) by the
+    /// multiplier. Figure 1.0 returns the configuration unchanged; figures
+    /// above 1 model interference-degraded regions where the calibrated
+    /// `ε_max` bound no longer holds at its nominal value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `figure` is positive and finite.
+    pub fn with_noise_figure(self, figure: f64) -> Self {
+        assert!(
+            figure.is_finite() && figure > 0.0,
+            "noise figure must be positive, got {figure}"
+        );
+        RssiRanging {
+            sigma_db: self.sigma_db * figure,
+            max_error_ft: self.max_error_ft * figure,
+            ..self
         }
     }
 
@@ -222,6 +258,32 @@ mod tests {
         assert!(distinct > 1000, "noise collapsed: {distinct}");
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - d).abs() < 2.0, "biased: {mean}");
+    }
+
+    #[test]
+    fn noise_figure_scales_both_models() {
+        let b = BoundedRanging::new(10.0).with_noise_figure(2.5);
+        assert_eq!(b.max_error(), 25.0);
+        let r = RssiRanging::mica2_outdoor().with_noise_figure(3.0);
+        assert_eq!(r.max_error(), 30.0);
+        assert_eq!(r.sigma_db, 6.0);
+        // Figure 1.0 is the identity.
+        assert_eq!(
+            RssiRanging::mica2_outdoor().with_noise_figure(1.0),
+            RssiRanging::mica2_outdoor()
+        );
+        // The scaled bound is actually honoured by measurements.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..300 {
+            let m = r.measure(60.0, &mut rng);
+            assert!((m - 60.0).abs() <= 30.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise figure")]
+    fn zero_noise_figure_rejected() {
+        BoundedRanging::new(10.0).with_noise_figure(0.0);
     }
 
     #[test]

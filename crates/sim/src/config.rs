@@ -1,12 +1,16 @@
 //! Simulation configuration.
 
+use secloc_faults::{FaultError, FaultPlan};
 use secloc_geometry::Point2;
+use std::fmt;
 
 /// All parameters of one simulated deployment.
 ///
 /// Defaults come from [`SimConfig::paper_default`]; every figure-bench
 /// overrides just the swept parameter. The struct is plain data (public
-/// fields) because experiments are configuration in the C-struct spirit.
+/// fields) because experiments are configuration in the C-struct spirit;
+/// sweep code that builds configs field by field can use
+/// [`SimConfig::builder`] for validation at the end.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Total sensor nodes `N` (beacons included).
@@ -48,6 +52,110 @@ pub struct SimConfig {
     pub alert_loss_rate: f64,
     /// Retransmission budget per alert (1 = no retransmission).
     pub alert_retransmissions: u32,
+    /// Injected degradations (burst loss, regional noise, clock drift,
+    /// beacon churn). The default plan is empty and leaves the run
+    /// bit-identical to a fault-free simulator; see `DESIGN.md` §10.
+    pub faults: FaultPlan,
+}
+
+/// Why a [`SimConfig`] was rejected by [`SimConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `nodes` is zero.
+    EmptyNetwork,
+    /// The population must satisfy `malicious <= beacons <= nodes`.
+    InconsistentCounts {
+        /// Configured `malicious`.
+        malicious: u32,
+        /// Configured `beacons`.
+        beacons: u32,
+        /// Configured `nodes`.
+        nodes: u32,
+    },
+    /// Field side and radio range must both be positive.
+    NonPositiveGeometry {
+        /// Configured field side, in feet.
+        field_side_ft: f64,
+        /// Configured radio range, in feet.
+        range_ft: f64,
+    },
+    /// The maximum ranging error ε cannot be negative.
+    NegativeRangingError(f64),
+    /// A probability parameter left `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `alert_retransmissions` is zero — alerts need at least one try.
+    NoTransmissionBudget,
+    /// The lie offset must exceed the radio range for the fake-wormhole
+    /// evasion to be coherent.
+    LieOffsetWithinRange {
+        /// Configured lie offset, in feet.
+        lie_offset_ft: f64,
+        /// Configured radio range, in feet.
+        range_ft: f64,
+    },
+    /// The fault plan is internally inconsistent.
+    Faults(FaultError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyNetwork => write!(f, "empty network"),
+            ConfigError::InconsistentCounts {
+                malicious,
+                beacons,
+                nodes,
+            } => write!(
+                f,
+                "need malicious <= beacons <= nodes, got {malicious}/{beacons}/{nodes}"
+            ),
+            ConfigError::NonPositiveGeometry {
+                field_side_ft,
+                range_ft,
+            } => write!(
+                f,
+                "field and range must be positive, got {field_side_ft}/{range_ft}"
+            ),
+            ConfigError::NegativeRangingError(v) => {
+                write!(f, "ranging error must be >= 0, got {v}")
+            }
+            ConfigError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "{name} must be in [0,1], got {value}")
+            }
+            ConfigError::NoTransmissionBudget => {
+                write!(f, "alerts need at least one transmission attempt")
+            }
+            ConfigError::LieOffsetWithinRange {
+                lie_offset_ft,
+                range_ft,
+            } => write!(
+                f,
+                "lie offset ({lie_offset_ft}) must exceed radio range ({range_ft}) so the \
+                 declared location is plausibly wormhole-distant"
+            ),
+            ConfigError::Faults(e) => write!(f, "fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Faults(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for ConfigError {
+    fn from(e: FaultError) -> Self {
+        ConfigError::Faults(e)
+    }
 }
 
 impl SimConfig {
@@ -71,6 +179,16 @@ impl SimConfig {
             collusion: true,
             alert_loss_rate: 0.1,
             alert_retransmissions: 8,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// A builder starting from [`SimConfig::paper_default`], validating at
+    /// [`SimConfigBuilder::build`] — the ergonomic entry point for sweep
+    /// code that assembles configurations field by field.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::paper_default(),
         }
     }
 
@@ -84,53 +202,181 @@ impl SimConfig {
         self.beacons - self.malicious
     }
 
-    /// Validates parameter consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics when counts are inconsistent, probabilities leave `[0, 1]`,
-    /// or the lie offset cannot support the fake-wormhole evasion.
-    pub fn validate(&self) {
-        assert!(self.nodes > 0, "empty network");
-        assert!(
-            self.malicious <= self.beacons && self.beacons <= self.nodes,
-            "need malicious <= beacons <= nodes, got {}/{}/{}",
-            self.malicious,
-            self.beacons,
-            self.nodes
-        );
-        assert!(
-            self.field_side_ft > 0.0 && self.range_ft > 0.0,
-            "field and range must be positive"
-        );
-        assert!(
-            self.max_ranging_error_ft >= 0.0,
-            "ranging error must be >= 0"
-        );
+    /// Validates parameter consistency, reporting the first violation as a
+    /// typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::EmptyNetwork);
+        }
+        if !(self.malicious <= self.beacons && self.beacons <= self.nodes) {
+            return Err(ConfigError::InconsistentCounts {
+                malicious: self.malicious,
+                beacons: self.beacons,
+                nodes: self.nodes,
+            });
+        }
+        if !(self.field_side_ft > 0.0 && self.range_ft > 0.0) {
+            return Err(ConfigError::NonPositiveGeometry {
+                field_side_ft: self.field_side_ft,
+                range_ft: self.range_ft,
+            });
+        }
+        if self.max_ranging_error_ft < 0.0 {
+            return Err(ConfigError::NegativeRangingError(self.max_ranging_error_ft));
+        }
         for (name, v) in [
             ("wormhole_detection_rate", self.wormhole_detection_rate),
             ("attacker_p", self.attacker_p),
             ("alert_loss_rate", self.alert_loss_rate),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ConfigError::ProbabilityOutOfRange { name, value: v });
+            }
         }
-        assert!(
-            self.alert_retransmissions >= 1,
-            "alerts need at least one transmission attempt"
-        );
-        assert!(
-            self.lie_offset_ft > self.range_ft,
-            "lie offset ({}) must exceed radio range ({}) so the declared \
-             location is plausibly wormhole-distant",
-            self.lie_offset_ft,
-            self.range_ft
-        );
+        if self.alert_retransmissions < 1 {
+            return Err(ConfigError::NoTransmissionBudget);
+        }
+        if self.lie_offset_ft <= self.range_ft {
+            return Err(ConfigError::LieOffsetWithinRange {
+                lie_offset_ft: self.lie_offset_ft,
+                range_ft: self.range_ft,
+            });
+        }
+        self.faults.validate()?;
+        Ok(())
     }
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig::paper_default()
+    }
+}
+
+/// Field-by-field construction of a [`SimConfig`], validated at the end.
+///
+/// ```
+/// let config = secloc_sim::SimConfig::builder()
+///     .nodes(500)
+///     .beacons(50)
+///     .malicious(5)
+///     .attacker_p(0.3)
+///     .build()
+///     .expect("consistent configuration");
+/// assert_eq!(config.nodes, 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets total node count `N`.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Sets beacon count `N_b`.
+    pub fn beacons(mut self, beacons: u32) -> Self {
+        self.config.beacons = beacons;
+        self
+    }
+
+    /// Sets compromised beacon count `N_a`.
+    pub fn malicious(mut self, malicious: u32) -> Self {
+        self.config.malicious = malicious;
+        self
+    }
+
+    /// Sets the field side, in feet.
+    pub fn field_side_ft(mut self, ft: f64) -> Self {
+        self.config.field_side_ft = ft;
+        self
+    }
+
+    /// Sets the radio range, in feet.
+    pub fn range_ft(mut self, ft: f64) -> Self {
+        self.config.range_ft = ft;
+        self
+    }
+
+    /// Sets the maximum ranging error ε, in feet.
+    pub fn max_ranging_error_ft(mut self, ft: f64) -> Self {
+        self.config.max_ranging_error_ft = ft;
+        self
+    }
+
+    /// Sets detecting IDs per beacon (`m`).
+    pub fn detecting_ids(mut self, m: u32) -> Self {
+        self.config.detecting_ids = m;
+        self
+    }
+
+    /// Sets the report cap τ.
+    pub fn tau(mut self, tau: u32) -> Self {
+        self.config.tau = tau;
+        self
+    }
+
+    /// Sets the revocation threshold τ′.
+    pub fn tau_prime(mut self, tau_prime: u32) -> Self {
+        self.config.tau_prime = tau_prime;
+        self
+    }
+
+    /// Sets (or disables) the wormhole tap points.
+    pub fn wormhole(mut self, wormhole: Option<(Point2, Point2)>) -> Self {
+        self.config.wormhole = wormhole;
+        self
+    }
+
+    /// Sets the wormhole-detector rate `p_d`.
+    pub fn wormhole_detection_rate(mut self, p_d: f64) -> Self {
+        self.config.wormhole_detection_rate = p_d;
+        self
+    }
+
+    /// Sets the attacker's acceptance probability `P`.
+    pub fn attacker_p(mut self, p: f64) -> Self {
+        self.config.attacker_p = p;
+        self
+    }
+
+    /// Sets the magnitude of malicious location lies, in feet.
+    pub fn lie_offset_ft(mut self, ft: f64) -> Self {
+        self.config.lie_offset_ft = ft;
+        self
+    }
+
+    /// Enables or disables collusion spam.
+    pub fn collusion(mut self, collusion: bool) -> Self {
+        self.config.collusion = collusion;
+        self
+    }
+
+    /// Sets the alert-path per-transmission loss rate.
+    pub fn alert_loss_rate(mut self, rate: f64) -> Self {
+        self.config.alert_loss_rate = rate;
+        self
+    }
+
+    /// Sets the retransmission budget per alert.
+    pub fn alert_retransmissions(mut self, budget: u32) -> Self {
+        self.config.alert_retransmissions = budget;
+        self
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -141,7 +387,7 @@ mod tests {
     #[test]
     fn paper_default_is_valid_and_matches_reconstruction() {
         let c = SimConfig::paper_default();
-        c.validate();
+        c.validate().expect("paper default must validate");
         assert_eq!(c.nodes, 1000);
         assert_eq!(c.beacons, 100);
         assert_eq!(c.malicious, 10);
@@ -149,6 +395,7 @@ mod tests {
         assert_eq!(c.benign_beacons(), 90);
         assert_eq!(c.wormhole.unwrap().0, Point2::new(100.0, 100.0));
         assert_eq!(c.wormhole.unwrap().1, Point2::new(800.0, 700.0));
+        assert!(c.faults.is_empty(), "default plan injects nothing");
     }
 
     #[test]
@@ -157,26 +404,104 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "malicious <= beacons")]
     fn rejects_more_malicious_than_beacons() {
         let mut c = SimConfig::paper_default();
         c.malicious = c.beacons + 1;
-        c.validate();
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InconsistentCounts {
+                malicious: 101,
+                beacons: 100,
+                nodes: 1000
+            })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "lie offset")]
     fn rejects_small_lie() {
         let mut c = SimConfig::paper_default();
         c.lie_offset_ft = 50.0;
-        c.validate();
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::LieOffsetWithinRange { .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "in [0,1]")]
     fn rejects_bad_probability() {
         let mut c = SimConfig::paper_default();
         c.attacker_p = 2.0;
-        c.validate();
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ProbabilityOutOfRange {
+                name: "attacker_p",
+                value: 2.0
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_network_and_zero_budget() {
+        let mut c = SimConfig::paper_default();
+        c.nodes = 0;
+        c.beacons = 0;
+        c.malicious = 0;
+        assert_eq!(c.validate(), Err(ConfigError::EmptyNetwork));
+        let mut c = SimConfig::paper_default();
+        c.alert_retransmissions = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoTransmissionBudget));
+    }
+
+    #[test]
+    fn rejects_invalid_fault_plan() {
+        let mut c = SimConfig::paper_default();
+        c.faults = secloc_faults::FaultPlan::default().with_churn(
+            secloc_faults::ChurnSpec::random(0.5, 0.0), // bad downtime
+        );
+        assert!(matches!(c.validate(), Err(ConfigError::Faults(_))));
+        // The fault error is carried as the source.
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("fault plan"));
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let c = SimConfig::builder()
+            .nodes(400)
+            .beacons(40)
+            .malicious(4)
+            .attacker_p(0.5)
+            .collusion(false)
+            .wormhole(None)
+            .build()
+            .expect("valid");
+        assert_eq!(c.nodes, 400);
+        assert_eq!(c.beacons, 40);
+        assert!(!c.collusion);
+        assert!(c.wormhole.is_none());
+        // Unset fields keep the paper defaults.
+        assert_eq!(c.range_ft, 150.0);
+
+        let err = SimConfig::builder().beacons(2000).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InconsistentCounts { .. }));
+        assert!(err.to_string().contains("malicious <= beacons"));
+    }
+
+    #[test]
+    fn errors_render_the_classic_messages() {
+        // Substrings older panic-based callers grepped for stay stable.
+        let mut c = SimConfig::paper_default();
+        c.malicious = 200;
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("malicious <= beacons"));
+        c = SimConfig::paper_default();
+        c.alert_loss_rate = -0.1;
+        assert!(c.validate().unwrap_err().to_string().contains("in [0,1]"));
+        c = SimConfig::paper_default();
+        c.lie_offset_ft = 10.0;
+        assert!(c.validate().unwrap_err().to_string().contains("lie offset"));
     }
 }

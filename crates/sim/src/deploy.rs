@@ -51,9 +51,19 @@ impl Deployment {
     ///
     /// # Panics
     ///
-    /// Panics when `config` fails [`SimConfig::validate`].
+    /// Panics when `config` fails [`SimConfig::validate`]; use
+    /// [`Deployment::try_generate`] to handle the error instead.
     pub fn generate(config: SimConfig, seed: u64) -> Self {
-        config.validate();
+        match Self::try_generate(config, seed) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid SimConfig: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Deployment::generate`], reporting an invalid
+    /// configuration as a typed [`crate::ConfigError`].
+    pub fn try_generate(config: SimConfig, seed: u64) -> Result<Self, crate::ConfigError> {
+        config.validate()?;
         let field = Field::square(config.field_side_ft);
         let mut rng = StdRng::seed_from_u64(subseed(seed, b"deploy"));
         let positions = deploy::uniform_with(&field, config.nodes as usize, &mut rng);
@@ -107,7 +117,7 @@ impl Deployment {
 
         let ids = IdSpace::new(config.beacons, config.non_beacons(), config.detecting_ids);
 
-        Deployment {
+        Ok(Deployment {
             config,
             ids,
             index,
@@ -117,7 +127,7 @@ impl Deployment {
             compromised,
             wormhole,
             seed,
-        }
+        })
     }
 
     /// The configuration this deployment was generated from.
@@ -157,11 +167,24 @@ impl Deployment {
 
     /// Indices of all nodes within radio range of node `i` (excluding `i`).
     pub fn neighbors(&self, i: u32) -> Vec<u32> {
-        self.index
-            .neighbors_of(i as usize, self.config.range_ft)
-            .into_iter()
-            .map(|x| x as u32)
-            .collect()
+        let mut out = Vec::new();
+        self.neighbors_into(i, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Deployment::neighbors`]: clears `out`
+    /// and fills it with every node within radio range of node `i`
+    /// (excluding `i` itself), sorted ascending — the `*_into`
+    /// scratch-buffer convention of the hot paths.
+    pub fn neighbors_into(&self, i: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.index
+                .within_iter(self.position(i), self.config.range_ft)
+                .map(|v| v as u32),
+        );
+        out.sort_unstable();
+        out.retain(|&v| v != i);
     }
 
     /// Fills `out` with the beacons within radio range of node `i`
@@ -283,6 +306,40 @@ mod tests {
                 assert_ne!(n, b);
             }
         }
+    }
+
+    #[test]
+    fn neighbors_into_matches_index_neighbors_of() {
+        let d = Deployment::generate(small_config(), 3);
+        let mut scratch = vec![u32::MAX; 7]; // stale garbage must be cleared
+        for i in (0..300).step_by(19) {
+            let expected: Vec<u32> = d
+                .index
+                .neighbors_of(i as usize, d.config.range_ft)
+                .into_iter()
+                .map(|x| x as u32)
+                .collect();
+            d.neighbors_into(i, &mut scratch);
+            assert_eq!(scratch, expected, "node {i}");
+            assert_eq!(d.neighbors(i), expected, "node {i}");
+        }
+    }
+
+    #[test]
+    fn try_generate_reports_config_errors() {
+        let mut bad = small_config();
+        bad.malicious = 99;
+        let err = Deployment::try_generate(bad, 1).unwrap_err();
+        assert!(matches!(err, crate::ConfigError::InconsistentCounts { .. }));
+        assert!(Deployment::try_generate(small_config(), 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "malicious <= beacons")]
+    fn generate_panics_on_invalid_config() {
+        let mut bad = small_config();
+        bad.malicious = 99;
+        Deployment::generate(bad, 1);
     }
 
     #[test]

@@ -1,512 +1,76 @@
-//! The full §4 experiment: detection → alerts → revocation → impact.
+//! The legacy experiment façade, now a thin wrapper over [`Runner`].
+//!
+//! The `run` / `run_traced` / `run_observed` / `run_reference` quartet
+//! grew one method per orthogonal concern; [`Runner::run`] with
+//! [`RunOptions`] composes them instead (and adds fault injection). The
+//! wrappers stay so existing callers keep compiling, but new code should
+//! use [`Runner`] directly.
 
-use crate::deploy::subseed;
-use crate::trace::{AlertSource, Trace};
-use crate::{Deployment, NodeKind, ProbeContext, SimConfig, SimOutcome};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use secloc_attack::{Action, CollusionPolicy};
-use secloc_core::{Alert, AlertMetrics, BaseStation, RevocationConfig};
-use secloc_crypto::NodeId;
-use secloc_localization::{Estimator, LocationReference, MmseEstimator};
-use secloc_obs::{Obs, Value};
-use secloc_radio::loss::{send_reliable, BernoulliLoss};
-use secloc_radio::{Cycles, EventQueue};
+use crate::trace::Trace;
+use crate::{RunOptions, RunOutput, Runner, SimConfig, SimOutcome};
+use secloc_obs::Obs;
 
-/// A reference a sensor kept for localization, tagged with its source.
-#[derive(Debug, Clone, Copy)]
-struct KeptReference {
-    beacon: u32,
-    reference: LocationReference,
-}
-
-/// One end-to-end simulation run.
+/// One end-to-end simulation run (legacy façade over [`Runner`]).
 ///
-/// Phases (each driven from the deterministic [`EventQueue`]):
-///
-/// 1. **Detection** — every benign beacon probes, under each of its `m`
-///    detecting IDs, every beacon it can hear (directly or through the
-///    wormhole) and raises at most one alert per target.
-/// 2. **Location discovery** — every sensor requests a beacon signal from
-///    each beacon it can hear and keeps the signals that pass its replay
-///    filters.
-/// 3. **Revocation** — colluding malicious beacons flood their alert
-///    budget first (worst case for the defender), then benign alerts
-///    arrive in randomised order; the base station applies the (τ, τ′)
-///    counters of §3.1.
-/// 4. **Impact measurement** — poisoned references from revoked beacons
-///    are discarded and the paper's metrics are computed.
+/// See [`Runner`] for the phase-by-phase description.
 pub struct Experiment {
-    deployment: Deployment,
-    seed: u64,
+    runner: Runner,
 }
 
 impl Experiment {
     /// Creates an experiment on a fresh deployment drawn from `seed`.
     pub fn new(config: SimConfig, seed: u64) -> Self {
         Experiment {
-            deployment: Deployment::generate(config, seed),
-            seed,
+            runner: Runner::new(config, seed),
         }
     }
 
     /// Like [`Experiment::new`], but times deployment generation under the
     /// `phase.deploy` span and announces the phase on the event sink.
     pub fn new_observed(config: SimConfig, seed: u64, telemetry: &Obs) -> Self {
-        telemetry.emit("phase", &[("name", Value::Str("deploy".to_string()))]);
-        let span = telemetry.span("phase.deploy");
-        let deployment = Deployment::generate(config, seed);
-        span.finish();
-        Experiment { deployment, seed }
+        Experiment {
+            runner: Runner::new_observed(config, seed, telemetry),
+        }
     }
 
     /// The underlying deployment (for inspection and plotting).
-    pub fn deployment(&self) -> &Deployment {
-        &self.deployment
+    pub fn deployment(&self) -> &crate::Deployment {
+        self.runner.deployment()
     }
 
-    /// Runs all four phases and returns the measurements.
+    /// The unified runner this façade delegates to.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Runs all phases and returns the measurements.
+    #[deprecated(note = "use Runner::run(RunOptions::new()) instead")]
     pub fn run(&self) -> SimOutcome {
-        self.run_traced().0
+        self.runner.run(RunOptions::new()).outcome
     }
 
-    /// Like [`Experiment::run`], but also returns the ordered audit
-    /// [`Trace`] of the revocation phase.
+    /// Like `run`, but also returns the ordered audit [`Trace`] of the
+    /// revocation phase.
+    #[deprecated(note = "use Runner::run(RunOptions::new().traced()) instead")]
     pub fn run_traced(&self) -> (SimOutcome, Trace) {
-        self.run_observed(&Obs::disabled())
+        let RunOutput { outcome, trace } = self.runner.run(RunOptions::new().traced());
+        (outcome, trace.expect("traced run carries a trace"))
     }
 
-    /// Runs all four phases with telemetry: per-phase wall-time spans
-    /// (`phase.{detection,location,alert_delivery,revocation,impact}`),
-    /// verdict/alert counters, `phase` / `revocation` / `round.snapshot`
-    /// events, and a final `run.end` marker. With [`Obs::disabled`] this is
-    /// exactly [`Experiment::run_traced`] — the instrumentation consumes no
-    /// randomness, so observed and unobserved runs produce identical
-    /// outcomes.
+    /// Runs all phases with telemetry recorded on `telemetry`.
+    #[deprecated(note = "use Runner::run(RunOptions::new().traced().observed(obs)) instead")]
     pub fn run_observed(&self, telemetry: &Obs) -> (SimOutcome, Trace) {
-        self.run_impl(telemetry, true)
+        let RunOutput { outcome, trace } = self
+            .runner
+            .run(RunOptions::new().traced().observed(telemetry));
+        (outcome, trace.expect("traced run carries a trace"))
     }
 
-    /// The pre-optimization run: allocating neighbour queries, per-pop heap
-    /// maintenance and a two-pass impact computation. Kept so the perf
-    /// regression harness (`benches/hot_paths.rs`) can measure an honest
-    /// before/after ratio, and so `tests/equivalence.rs` can prove the
-    /// optimized path produces bit-identical outcomes. Both paths draw from
-    /// the same seeded RNG streams in the same order.
-    ///
-    /// Not for production use — call [`Experiment::run`] instead.
+    /// The pre-optimization run, for equivalence tests and the perf
+    /// regression harness.
+    #[deprecated(note = "use Runner::run(RunOptions::new().reference()) instead")]
     pub fn run_reference(&self) -> SimOutcome {
-        self.run_impl(&Obs::disabled(), false).0
-    }
-
-    fn run_impl(&self, telemetry: &Obs, optimized: bool) -> (SimOutcome, Trace) {
-        let mut trace = Trace::new();
-        let d = &self.deployment;
-        let cfg = d.config();
-        let ctx = ProbeContext::with_obs(d, telemetry);
-        let mut probe_rng = StdRng::seed_from_u64(subseed(self.seed, b"probe"));
-        let mut order_rng = StdRng::seed_from_u64(subseed(self.seed, b"order"));
-        telemetry.emit(
-            "run.start",
-            &[
-                ("seed", Value::U64(self.seed)),
-                ("nodes", Value::U64(cfg.nodes as u64)),
-                ("beacons", Value::U64(cfg.beacons as u64)),
-                ("malicious", Value::U64(cfg.malicious as u64)),
-            ],
-        );
-
-        // ---- Phase 1: detection probes by benign beacons. -------------
-        telemetry.emit("phase", &[("name", Value::Str("detection".to_string()))]);
-        let detection_span = telemetry.span("phase.detection");
-        let detectors = d.beacons_of_kind(NodeKind::BenignBeacon);
-        // Scratch buffer reused for every audible-beacon query in the run.
-        let mut audible: Vec<u32> = Vec::new();
-        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
-        for &u in &detectors {
-            if optimized {
-                self.audible_beacons_into(u, &mut audible);
-            } else {
-                audible = self.audible_beacons(u);
-            }
-            for &v in &audible {
-                queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (u, v));
-            }
-        }
-        let mut benign_alerts: Vec<Alert> = Vec::new();
-        {
-            let mut handle = |u: u32, v: u32| {
-                for k in 0..cfg.detecting_ids {
-                    let wire = d.ids().detecting_id(u, k);
-                    let Some(result) = ctx.probe(u, wire, v, &mut probe_rng) else {
-                        break;
-                    };
-                    if result.outcome.raises_alert() {
-                        benign_alerts.push(Alert::new(NodeId(u), NodeId(v)));
-                        break; // one alert per (detector, target)
-                    }
-                }
-            };
-            if optimized {
-                // One sort instead of per-pop heap maintenance; same order.
-                for (_, (u, v)) in queue.drain_ordered() {
-                    handle(u, v);
-                }
-            } else {
-                while let Some((_, (u, v))) = queue.pop() {
-                    handle(u, v);
-                }
-            }
-        }
-        telemetry.add("detect.alerts_raised", benign_alerts.len() as u64);
-        detection_span.finish();
-
-        // ---- Phase 2: location discovery by sensors. ------------------
-        telemetry.emit("phase", &[("name", Value::Str("location".to_string()))]);
-        let location_span = telemetry.span("phase.location");
-        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
-        for w in d.sensors() {
-            if optimized {
-                self.audible_beacons_into(w, &mut audible);
-            } else {
-                audible = self.audible_beacons(w);
-            }
-            for &v in &audible {
-                queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (w, v));
-            }
-        }
-        let mut kept: Vec<Vec<KeptReference>> = vec![Vec::new(); cfg.nodes as usize];
-        // poisoned[v] = sensors that accepted a malicious signal from v.
-        let mut poisoned: Vec<Vec<u32>> = vec![Vec::new(); cfg.beacons as usize];
-        {
-            let mut handle = |w: u32, v: u32| {
-                let Some(result) = ctx.probe(w, NodeId(w), v, &mut probe_rng) else {
-                    return;
-                };
-                if !result.accepted_for_localization {
-                    return;
-                }
-                kept[w as usize].push(KeptReference {
-                    beacon: v,
-                    reference: LocationReference::new(
-                        result.observation.declared_position,
-                        result.observation.measured_distance_ft,
-                    ),
-                });
-                if result.action == Some(Action::MaliciousSignal) {
-                    poisoned[v as usize].push(w);
-                }
-            };
-            if optimized {
-                for (_, (w, v)) in queue.drain_ordered() {
-                    handle(w, v);
-                }
-            } else {
-                while let Some((_, (w, v))) = queue.pop() {
-                    handle(w, v);
-                }
-            }
-        }
-        telemetry.add(
-            "location.references_kept",
-            kept.iter().map(|k| k.len() as u64).sum(),
-        );
-        telemetry.add(
-            "location.sensors_poisoned",
-            poisoned.iter().map(|p| p.len() as u64).sum(),
-        );
-        location_span.finish();
-
-        // ---- Phase 3a: alert delivery over the lossy report channel. ---
-        // Alerts cross a lossy multi-hop path; the paper assumes
-        // retransmission makes delivery effectively reliable, which the
-        // loss model + retransmission budget discharge explicitly. The
-        // delivery draws happen here, alert by alert in submission order,
-        // exactly as before the phase split.
-        telemetry.emit(
-            "phase",
-            &[("name", Value::Str("alert_delivery".to_string()))],
-        );
-        let delivery_span = telemetry.span("phase.alert_delivery");
-        let mut alert_loss = BernoulliLoss::new(cfg.alert_loss_rate);
-        let mut loss_rng = StdRng::seed_from_u64(subseed(self.seed, b"alert-loss"));
-        let delivered = |rng: &mut StdRng, loss: &mut BernoulliLoss| {
-            send_reliable(loss, cfg.alert_retransmissions, rng).delivered
-        };
-        let mut submissions: Vec<(Alert, AlertSource, bool)> = Vec::new();
-        let mut collusion_alerts = 0usize;
-        if cfg.collusion && cfg.malicious > 0 {
-            let colluders: Vec<NodeId> = d
-                .beacons_of_kind(NodeKind::MaliciousBeacon)
-                .into_iter()
-                .map(NodeId)
-                .collect();
-            let mut victims: Vec<NodeId> = detectors.iter().copied().map(NodeId).collect();
-            victims.shuffle(&mut order_rng);
-            let policy = CollusionPolicy::new(cfg.tau, cfg.tau_prime);
-            for (reporter, target) in policy.alerts(&colluders, &victims) {
-                let ok = delivered(&mut loss_rng, &mut alert_loss);
-                submissions.push((Alert::new(reporter, target), AlertSource::Collusion, ok));
-                collusion_alerts += 1;
-            }
-        }
-        benign_alerts.shuffle(&mut order_rng);
-        let benign_alert_count = benign_alerts.len();
-        for alert in benign_alerts {
-            let ok = delivered(&mut loss_rng, &mut alert_loss);
-            submissions.push((alert, AlertSource::Detection, ok));
-        }
-        telemetry.add("alerts.sent.collusion", collusion_alerts as u64);
-        telemetry.add("alerts.sent.detection", benign_alert_count as u64);
-        telemetry.add(
-            "alerts.dropped_in_transit",
-            submissions.iter().filter(|(_, _, ok)| !ok).count() as u64,
-        );
-        delivery_span.finish();
-
-        // ---- Phase 3b: revocation at the base station. -----------------
-        telemetry.emit("phase", &[("name", Value::Str("revocation".to_string()))]);
-        let revocation_span = telemetry.span("phase.revocation");
-        let alert_metrics = telemetry.metrics().map(|r| AlertMetrics::new(r));
-        let mut station = BaseStation::new(RevocationConfig {
-            tau: cfg.tau,
-            tau_prime: cfg.tau_prime,
-        });
-        for (alert, source, ok) in submissions {
-            let outcome = if ok {
-                station.process(alert)
-            } else {
-                secloc_core::AlertOutcome::Accepted // hypothetical; not counted
-            };
-            if ok {
-                if let Some(m) = &alert_metrics {
-                    m.record(outcome);
-                }
-                if outcome == secloc_core::AlertOutcome::AcceptedAndRevoked {
-                    telemetry.emit(
-                        "revocation",
-                        &[
-                            ("target", Value::U64(alert.target.0 as u64)),
-                            ("reporter", Value::U64(alert.reporter.0 as u64)),
-                            (
-                                "source",
-                                Value::Str(
-                                    match source {
-                                        AlertSource::Detection => "detection",
-                                        AlertSource::Collusion => "collusion",
-                                    }
-                                    .to_string(),
-                                ),
-                            ),
-                        ],
-                    );
-                }
-            }
-            trace.record(alert.reporter, alert.target, source, outcome, ok);
-        }
-        revocation_span.finish();
-
-        // ---- Phase 4: impact metrics. ----------------------------------
-        telemetry.emit("phase", &[("name", Value::Str("impact".to_string()))]);
-        let impact_span = telemetry.span("phase.impact");
-        let malicious = d.beacons_of_kind(NodeKind::MaliciousBeacon);
-        let benign = detectors;
-        let revoked_malicious = malicious
-            .iter()
-            .filter(|&&v| station.is_revoked(NodeId(v)))
-            .count() as u32;
-        let revoked_benign = benign
-            .iter()
-            .filter(|&&v| station.is_revoked(NodeId(v)))
-            .count() as u32;
-
-        let (affected_before, affected_after) = if malicious.is_empty() {
-            (0.0, 0.0)
-        } else {
-            let before: usize = malicious.iter().map(|&v| poisoned[v as usize].len()).sum();
-            let after: usize = malicious
-                .iter()
-                .filter(|&&v| !station.is_revoked(NodeId(v)))
-                .map(|&v| poisoned[v as usize].len())
-                .sum();
-            (
-                before as f64 / malicious.len() as f64,
-                after as f64 / malicious.len() as f64,
-            )
-        };
-
-        let estimator = MmseEstimator::default();
-        let field = secloc_geometry::Field::square(cfg.field_side_ft);
-        let mean_error = |filter_revoked: bool| -> Option<f64> {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            for w in d.sensors() {
-                let refs: Vec<LocationReference> = kept[w as usize]
-                    .iter()
-                    .filter(|k| !filter_revoked || !station.is_revoked(NodeId(k.beacon)))
-                    .map(|k| k.reference)
-                    .collect();
-                if refs.len() < estimator.min_references() {
-                    continue;
-                }
-                if let Ok(est) = estimator.estimate(&refs) {
-                    // A deployed node knows the field bounds; wildly
-                    // inconsistent (poisoned) constraints can push the
-                    // least-squares solution outside them, so clamp like a
-                    // real stack would.
-                    let clamped = field.clamp(est.position);
-                    sum += clamped.distance(d.position(w));
-                    n += 1;
-                }
-            }
-            (n > 0).then(|| sum / n as f64)
-        };
-
-        // Single pass over the sensors with reused scratch buffers; when
-        // revocation removed none of a sensor's references the second
-        // (filtered) estimate is the same pure function of the same inputs,
-        // so the first result is reused instead of recomputed. The per-
-        // accumulator addition order matches the two-pass reference, so the
-        // means are bit-identical.
-        let mean_errors_single_pass = || -> (Option<f64>, Option<f64>) {
-            let (mut sum_b, mut n_b) = (0.0f64, 0usize);
-            let (mut sum_a, mut n_a) = (0.0f64, 0usize);
-            let mut refs: Vec<LocationReference> = Vec::new();
-            let mut refs_kept: Vec<LocationReference> = Vec::new();
-            for w in d.sensors() {
-                let ks = &kept[w as usize];
-                refs.clear();
-                refs.extend(ks.iter().map(|k| k.reference));
-                refs_kept.clear();
-                refs_kept.extend(
-                    ks.iter()
-                        .filter(|k| !station.is_revoked(NodeId(k.beacon)))
-                        .map(|k| k.reference),
-                );
-                let est_before = (refs.len() >= estimator.min_references())
-                    .then(|| estimator.estimate(&refs).ok())
-                    .flatten();
-                if let Some(est) = &est_before {
-                    sum_b += field.clamp(est.position).distance(d.position(w));
-                    n_b += 1;
-                }
-                let est_after = if refs_kept.len() == refs.len() {
-                    est_before // nothing filtered: identical inputs
-                } else if refs_kept.len() >= estimator.min_references() {
-                    estimator.estimate(&refs_kept).ok()
-                } else {
-                    None
-                };
-                if let Some(est) = est_after {
-                    sum_a += field.clamp(est.position).distance(d.position(w));
-                    n_a += 1;
-                }
-            }
-            (
-                (n_b > 0).then(|| sum_b / n_b as f64),
-                (n_a > 0).then(|| sum_a / n_a as f64),
-            )
-        };
-        let (err_before, err_after) = if optimized {
-            mean_errors_single_pass()
-        } else {
-            (mean_error(false), mean_error(true))
-        };
-
-        let outcome = SimOutcome {
-            malicious_total: malicious.len() as u32,
-            benign_total: benign.len() as u32,
-            revoked_malicious,
-            revoked_benign,
-            affected_before,
-            affected_after,
-            benign_alerts: benign_alert_count,
-            collusion_alerts,
-            mean_requesters_per_beacon: d.mean_requesters_per_beacon(),
-            mean_loc_error_before_ft: err_before,
-            mean_loc_error_after_ft: err_after,
-        };
-        impact_span.finish();
-        telemetry.set_gauge("sim.revoked_malicious", outcome.revoked_malicious as i64);
-        telemetry.set_gauge("sim.revoked_benign", outcome.revoked_benign as i64);
-        telemetry.emit(
-            "round.snapshot",
-            &[
-                ("seed", Value::U64(self.seed)),
-                (
-                    "revoked_malicious",
-                    Value::U64(outcome.revoked_malicious as u64),
-                ),
-                ("revoked_benign", Value::U64(outcome.revoked_benign as u64)),
-                ("benign_alerts", Value::U64(outcome.benign_alerts as u64)),
-                (
-                    "collusion_alerts",
-                    Value::U64(outcome.collusion_alerts as u64),
-                ),
-                ("detection_rate", Value::F64(outcome.detection_rate())),
-                (
-                    "false_positive_rate",
-                    Value::F64(outcome.false_positive_rate()),
-                ),
-                ("affected_after", Value::F64(outcome.affected_after)),
-            ],
-        );
-        telemetry.emit("run.end", &[("seed", Value::U64(self.seed))]);
-        telemetry.flush();
-        (outcome, trace)
-    }
-
-    /// Beacons a node can hear: direct neighbours plus benign beacons
-    /// reachable through the wormhole.
-    ///
-    /// Pre-optimization version: allocates the result and scans every
-    /// beacon for wormhole reachability. Used only by the reference path;
-    /// the optimized run uses [`Experiment::audible_beacons_into`].
-    fn audible_beacons(&self, node: u32) -> Vec<u32> {
-        let d = &self.deployment;
-        let cfg = d.config();
-        let mut targets: Vec<u32> = d
-            .neighbors(node)
-            .into_iter()
-            .filter(|&v| v < cfg.beacons)
-            .collect();
-        if let Some(w) = d.wormhole() {
-            let my_pos = d.position(node);
-            for v in 0..cfg.beacons {
-                if v == node || d.kind(v) != NodeKind::BenignBeacon {
-                    continue;
-                }
-                let vp = d.position(v);
-                if my_pos.distance(vp) > cfg.range_ft && w.tunnels(vp, my_pos, cfg.range_ft) {
-                    targets.push(v);
-                }
-            }
-        }
-        targets
-    }
-
-    /// Allocation-free [`Experiment::audible_beacons`]: clears `out` and
-    /// fills it with the same beacons in the same order — direct
-    /// neighbours ascending (from the beacon-only index), then
-    /// wormhole-carried benign beacons ascending (from the precomputed
-    /// exit list).
-    fn audible_beacons_into(&self, node: u32, out: &mut Vec<u32>) {
-        let d = &self.deployment;
-        let cfg = d.config();
-        d.beacons_in_range_into(node, out);
-        if !d.wormhole_exits().is_empty() {
-            let my_pos = d.position(node);
-            for &(v, exit) in d.wormhole_exits() {
-                if v == node {
-                    continue;
-                }
-                let vp = d.position(v);
-                if my_pos.distance(vp) > cfg.range_ft && exit.distance(my_pos) <= cfg.range_ft {
-                    out.push(v);
-                }
-            }
-        }
+        self.runner.run(RunOptions::new().reference()).outcome
     }
 }
 
@@ -515,7 +79,7 @@ mod tests {
     use super::*;
 
     fn small(p: f64, seed: u64) -> SimOutcome {
-        Experiment::new(
+        Runner::new(
             SimConfig {
                 nodes: 500,
                 beacons: 50,
@@ -525,7 +89,8 @@ mod tests {
             },
             seed,
         )
-        .run()
+        .run(RunOptions::new())
+        .outcome
     }
 
     #[test]
@@ -542,14 +107,15 @@ mod tests {
         // tau' = 2 is then near-certain.
         let outcomes: Vec<SimOutcome> = (0..3)
             .map(|s| {
-                Experiment::new(
+                Runner::new(
                     SimConfig {
                         attacker_p: 0.8,
                         ..SimConfig::paper_default()
                     },
                     s,
                 )
-                .run()
+                .run(RunOptions::new())
+                .outcome
             })
             .collect();
         let agg = crate::average_outcomes(&outcomes);
@@ -613,7 +179,7 @@ mod tests {
             ..SimConfig::paper_default()
         };
         cfg.collusion = false;
-        let o = Experiment::new(cfg, 11).run();
+        let o = Runner::new(cfg, 11).run(RunOptions::new()).outcome;
         assert_eq!(o.collusion_alerts, 0);
         assert_eq!(o.revoked_benign, 0, "no collusion, no wormhole, no FPs");
     }
@@ -661,7 +227,7 @@ mod tests {
                 ..base.clone()
             };
             let outs: Vec<SimOutcome> = (0..6)
-                .map(|s| Experiment::new(cfg.clone(), s).run())
+                .map(|s| Runner::new(cfg.clone(), s).run(RunOptions::new()).outcome)
                 .collect();
             crate::average_outcomes(&outs).detection_rate
         };
@@ -680,7 +246,7 @@ mod tests {
 
     #[test]
     fn trace_agrees_with_outcome() {
-        let exp = Experiment::new(
+        let runner = Runner::new(
             SimConfig {
                 nodes: 500,
                 beacons: 50,
@@ -690,7 +256,8 @@ mod tests {
             },
             13,
         );
-        let (outcome, trace) = exp.run_traced();
+        let out = runner.run(RunOptions::new().traced());
+        let (outcome, trace) = (out.outcome, out.trace.expect("traced"));
         // Every revocation in the trace corresponds to a revoked beacon.
         assert_eq!(
             trace.revocations().len() as u32,
@@ -702,7 +269,7 @@ mod tests {
             outcome.benign_alerts + outcome.collusion_alerts
         );
         // The traced run returns the same outcome as the untraced one.
-        assert_eq!(exp.run(), outcome);
+        assert_eq!(runner.run(RunOptions::new()).outcome, outcome);
         // Colluders fire first in the worst-case ordering.
         if outcome.collusion_alerts > 0 {
             assert_eq!(
@@ -717,5 +284,30 @@ mod tests {
         let o = small(0.1, 9);
         assert!(o.mean_requesters_per_beacon > 5.0);
         assert!(o.mean_requesters_per_beacon < 500.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_runner() {
+        let cfg = SimConfig {
+            nodes: 400,
+            beacons: 40,
+            malicious: 4,
+            attacker_p: 0.5,
+            ..SimConfig::paper_default()
+        };
+        let exp = Experiment::new(cfg.clone(), 17);
+        let via_runner = exp.runner().run(RunOptions::new()).outcome;
+        assert_eq!(exp.run(), via_runner);
+        assert_eq!(exp.run_reference(), via_runner);
+        let (outcome, trace) = exp.run_traced();
+        assert_eq!(outcome, via_runner);
+        assert_eq!(
+            trace.records().len(),
+            outcome.benign_alerts + outcome.collusion_alerts
+        );
+        let (observed, _) = exp.run_observed(&Obs::disabled());
+        assert_eq!(observed, via_runner);
+        assert_eq!(exp.deployment().config(), &cfg);
     }
 }

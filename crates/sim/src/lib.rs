@@ -20,16 +20,20 @@
 //! # Examples
 //!
 //! ```
-//! use secloc_sim::{Experiment, SimConfig};
+//! use secloc_sim::{RunOptions, Runner, SimConfig};
 //!
 //! let mut config = SimConfig::paper_default();
 //! config.nodes = 200;           // shrink for a doc test
 //! config.beacons = 20;
 //! config.malicious = 2;
 //! config.attacker_p = 0.3;
-//! let outcome = Experiment::new(config, 7).run();
+//! let outcome = Runner::new(config, 7).run(RunOptions::new()).outcome;
 //! assert!(outcome.detection_rate() >= 0.0 && outcome.detection_rate() <= 1.0);
 //! ```
+//!
+//! Degraded conditions are injected by attaching a
+//! [`FaultPlan`](secloc_faults::FaultPlan) — see `RunOptions::faults` and
+//! the `secloc-faults` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,12 +45,17 @@ mod experiment;
 mod metrics;
 mod probe;
 pub mod report;
+mod runner;
 pub mod sweep;
 pub mod trace;
 
-pub use config::SimConfig;
+pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use deploy::{Deployment, NodeKind};
 pub use experiment::Experiment;
 pub use metrics::{average_outcomes, AggregateOutcome, SimOutcome};
-pub use probe::{ProbeContext, ProbeResult};
+pub use probe::{ProbeContext, ProbeFaults, ProbeResult};
 pub use report::RunReport;
+pub use runner::{RunOptions, RunOutput, Runner};
+// Re-exported so sim callers can build fault plans without naming the
+// faults crate in their own manifest.
+pub use secloc_faults::FaultPlan;

@@ -30,6 +30,32 @@ pub struct ProbeContext<'a> {
     telemetry: Option<ProbeTelemetry>,
 }
 
+/// Degradations applied to one exchange: the requester's local noise
+/// figure (scales the ranging error bound) and its clock skew (added to
+/// every RTT it measures). [`ProbeFaults::NONE`] leaves the exchange
+/// untouched — and, crucially, byte-identical to a fault-free probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeFaults {
+    /// Multiplier on the maximum ranging error at the requester.
+    pub noise_figure: f64,
+    /// Clock skew added to every RTT the requester measures.
+    pub skew: Cycles,
+}
+
+impl ProbeFaults {
+    /// No degradation at all.
+    pub const NONE: ProbeFaults = ProbeFaults {
+        noise_figure: 1.0,
+        skew: Cycles::ZERO,
+    };
+}
+
+impl Default for ProbeFaults {
+    fn default() -> Self {
+        ProbeFaults::NONE
+    }
+}
+
 /// Everything produced by one exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbeResult {
@@ -116,7 +142,27 @@ impl<'a> ProbeContext<'a> {
         target: u32,
         rng: &mut StdRng,
     ) -> Option<ProbeResult> {
-        let result = self.probe_inner(requester, requester_wire_id, target, rng);
+        self.probe_with(
+            requester,
+            requester_wire_id,
+            target,
+            &ProbeFaults::NONE,
+            rng,
+        )
+    }
+
+    /// Like [`ProbeContext::probe`], but with `faults` degrading the
+    /// requester's measurements. `ProbeFaults::NONE` makes this identical
+    /// to `probe` — same RNG draws, same bits.
+    pub fn probe_with(
+        &self,
+        requester: u32,
+        requester_wire_id: NodeId,
+        target: u32,
+        faults: &ProbeFaults,
+        rng: &mut StdRng,
+    ) -> Option<ProbeResult> {
+        let result = self.probe_inner(requester, requester_wire_id, target, faults, rng);
         if let Some(t) = &self.telemetry {
             match result {
                 Some(_) => t.exchanges.incr(),
@@ -131,6 +177,7 @@ impl<'a> ProbeContext<'a> {
         requester: u32,
         requester_wire_id: NodeId,
         target: u32,
+        fx: &ProbeFaults,
         rng: &mut StdRng,
     ) -> Option<ProbeResult> {
         let cfg = self.deployment.config();
@@ -143,19 +190,26 @@ impl<'a> ProbeContext<'a> {
             NodeKind::MaliciousBeacon if direct => {
                 let beacon = self.deployment.compromised(target).expect("malicious");
                 let action = beacon.decide(requester_wire_id);
-                Some(self.malicious_reply(rq_pos, tg_pos, beacon.declared_position(), action, rng))
+                Some(self.malicious_reply(
+                    rq_pos,
+                    tg_pos,
+                    beacon.declared_position(),
+                    action,
+                    fx,
+                    rng,
+                ))
             }
             NodeKind::MaliciousBeacon => None,
             NodeKind::BenignBeacon => {
                 if direct {
-                    Some(self.benign_direct_reply(rq_pos, tg_pos, rng))
+                    Some(self.benign_direct_reply(rq_pos, tg_pos, fx, rng))
                 } else {
                     let exit = self
                         .deployment
                         .wormhole()
                         .and_then(|w| w.exit_for(tg_pos, cfg.range_ft))
                         .filter(|exit| exit.distance(rq_pos) <= cfg.range_ft)?;
-                    Some(self.benign_wormhole_reply(requester, target, rq_pos, tg_pos, exit, rng))
+                    Some(self.benign_wormhole_reply(requester, target, exit, fx, rng))
                 }
             }
         }
@@ -182,13 +236,31 @@ impl<'a> ProbeContext<'a> {
         }
     }
 
-    fn benign_direct_reply(&self, rq: Point2, tg: Point2, rng: &mut StdRng) -> ProbeResult {
+    /// One ranging measurement under the requester's noise figure. A unit
+    /// figure takes the exact fault-free path so the bits cannot drift.
+    fn measure(&self, d: f64, fx: &ProbeFaults, rng: &mut StdRng) -> f64 {
+        if fx.noise_figure == 1.0 {
+            self.ranging.measure(d, rng)
+        } else {
+            self.ranging
+                .with_noise_figure(fx.noise_figure)
+                .measure(d, rng)
+        }
+    }
+
+    fn benign_direct_reply(
+        &self,
+        rq: Point2,
+        tg: Point2,
+        fx: &ProbeFaults,
+        rng: &mut StdRng,
+    ) -> ProbeResult {
         let d = rq.distance(tg);
         let obs = Observation {
             detector_position: rq,
             declared_position: tg,
-            measured_distance_ft: self.ranging.measure(d, rng),
-            rtt: self.rtt_model.sample(d, Cycles::ZERO, rng),
+            measured_distance_ft: self.measure(d, fx, rng),
+            rtt: self.rtt_model.sample(d, Cycles::ZERO, rng) + fx.skew,
             wormhole_detector_fired: false,
         };
         self.finish(obs, None, false)
@@ -198,11 +270,12 @@ impl<'a> ProbeContext<'a> {
         &self,
         requester: u32,
         target: u32,
-        rq: Point2,
-        tg: Point2,
         exit: Point2,
+        fx: &ProbeFaults,
         rng: &mut StdRng,
     ) -> ProbeResult {
+        let rq = self.deployment.position(requester);
+        let tg = self.deployment.position(target);
         let tunnel_extra = self
             .deployment
             .wormhole()
@@ -214,8 +287,8 @@ impl<'a> ProbeContext<'a> {
         let obs = Observation {
             detector_position: rq,
             declared_position: tg, // truthful beacon, distant location
-            measured_distance_ft: self.ranging.measure(apparent, rng),
-            rtt: self.rtt_model.sample(apparent, tunnel_extra, rng),
+            measured_distance_ft: self.measure(apparent, fx, rng),
+            rtt: self.rtt_model.sample(apparent, tunnel_extra, rng) + fx.skew,
             wormhole_detector_fired: self.wormhole_detector_fires(requester, target),
         };
         self.finish(obs, None, true)
@@ -227,6 +300,7 @@ impl<'a> ProbeContext<'a> {
         tg: Point2,
         lie: Point2,
         action: Action,
+        fx: &ProbeFaults,
         rng: &mut StdRng,
     ) -> ProbeResult {
         let cfg = self.deployment.config();
@@ -236,16 +310,16 @@ impl<'a> ProbeContext<'a> {
                 // Indistinguishable from an honest beacon.
                 detector_position: rq,
                 declared_position: tg,
-                measured_distance_ft: self.ranging.measure(true_d, rng),
-                rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng),
+                measured_distance_ft: self.measure(true_d, fx, rng),
+                rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng) + fx.skew,
                 wormhole_detector_fired: false,
             },
             Action::MaliciousSignal => Observation {
                 // The undisguised lie: false location, honest timing.
                 detector_position: rq,
                 declared_position: lie,
-                measured_distance_ft: self.ranging.measure(true_d, rng),
-                rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng),
+                measured_distance_ft: self.measure(true_d, fx, rng),
+                rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng) + fx.skew,
                 wormhole_detector_fired: false,
             },
             Action::FakeWormhole => {
@@ -259,8 +333,8 @@ impl<'a> ProbeContext<'a> {
                 Observation {
                     detector_position: rq,
                     declared_position: fake_decl,
-                    measured_distance_ft: self.ranging.measure(true_d, rng),
-                    rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng),
+                    measured_distance_ft: self.measure(true_d, fx, rng),
+                    rtt: self.rtt_model.sample(true_d, Cycles::ZERO, rng) + fx.skew,
                     wormhole_detector_fired: true,
                 }
             }
@@ -269,8 +343,8 @@ impl<'a> ProbeContext<'a> {
                 // locally replayed.
                 detector_position: rq,
                 declared_position: lie,
-                measured_distance_ft: self.ranging.measure(true_d, rng),
-                rtt: self.rtt_model.sample(true_d, Cycles::from_bits(100.0), rng),
+                measured_distance_ft: self.measure(true_d, fx, rng),
+                rtt: self.rtt_model.sample(true_d, Cycles::from_bits(100.0), rng) + fx.skew,
                 wormhole_detector_fired: false,
             },
         };
@@ -462,6 +536,81 @@ mod tests {
             }
         }
         panic!("no out-of-range pair found");
+    }
+
+    #[test]
+    fn probe_with_none_is_bit_identical_to_probe() {
+        let d = deployment();
+        let ctx = ProbeContext::new(&d);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for u in (0..400u32).step_by(13) {
+            for v in 0..40u32 {
+                let plain = ctx.probe(u, NodeId(u), v, &mut rng_a);
+                let faulted = ctx.probe_with(u, NodeId(u), v, &ProbeFaults::NONE, &mut rng_b);
+                assert_eq!(plain, faulted, "{u}->{v}");
+            }
+        }
+        // The RNG streams stayed aligned draw for draw.
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn skew_shifts_rtt_and_noise_widens_error() {
+        let d = deployment();
+        let ctx = ProbeContext::new(&d);
+        let skewed = ProbeFaults {
+            noise_figure: 1.0,
+            skew: Cycles::new(500),
+        };
+        let mut found = false;
+        for u in d.beacons_of_kind(NodeKind::BenignBeacon) {
+            for v in d.neighbors(u) {
+                if d.kind(v) != NodeKind::BenignBeacon {
+                    continue;
+                }
+                let mut rng_a = StdRng::seed_from_u64(8);
+                let mut rng_b = StdRng::seed_from_u64(8);
+                let plain = ctx.probe(u, NodeId(u), v, &mut rng_a).unwrap();
+                let shifted = ctx
+                    .probe_with(u, NodeId(u), v, &skewed, &mut rng_b)
+                    .unwrap();
+                assert_eq!(
+                    shifted.observation.rtt,
+                    plain.observation.rtt + Cycles::new(500)
+                );
+                assert_eq!(
+                    shifted.observation.measured_distance_ft,
+                    plain.observation.measured_distance_ft
+                );
+                found = true;
+            }
+        }
+        assert!(found);
+
+        // Under a large noise figure, some benign direct measurement must
+        // exceed the fault-free ε bound.
+        let noisy = ProbeFaults {
+            noise_figure: 5.0,
+            skew: Cycles::ZERO,
+        };
+        let eps = d.config().max_ranging_error_ft;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut exceeded = false;
+        for u in d.beacons_of_kind(NodeKind::BenignBeacon) {
+            for v in d.neighbors(u) {
+                if d.kind(v) != NodeKind::BenignBeacon {
+                    continue;
+                }
+                let r = ctx.probe_with(u, NodeId(u), v, &noisy, &mut rng).unwrap();
+                let true_d = d.position(u).distance(d.position(v));
+                if (r.observation.measured_distance_ft - true_d).abs() > eps {
+                    exceeded = true;
+                }
+            }
+        }
+        assert!(exceeded, "figure 5 should breach the fault-free bound");
     }
 
     #[test]

@@ -225,7 +225,7 @@ pub fn write_rounds_csv(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Experiment, SimConfig};
+    use crate::{RunOptions, Runner, SimConfig};
     use secloc_obs::MetricsRegistry;
     use std::sync::Arc;
 
@@ -243,8 +243,8 @@ mod tests {
     fn report_collects_phases_and_renders() {
         let registry = Arc::new(MetricsRegistry::new());
         let telemetry = Obs::with_metrics(registry.clone());
-        let exp = Experiment::new_observed(shrunk(), 3, &telemetry);
-        let (outcome, _) = exp.run_observed(&telemetry);
+        let runner = Runner::new_observed(shrunk(), 3, &telemetry);
+        let outcome = runner.run(RunOptions::new().observed(&telemetry)).outcome;
         let report = RunReport::collect(outcome, &telemetry);
         // All six phases timed exactly once.
         assert_eq!(report.phases.len(), PHASE_NAMES.len());
@@ -261,8 +261,8 @@ mod tests {
 
     #[test]
     fn report_without_registry_is_still_renderable() {
-        let exp = Experiment::new(shrunk(), 3);
-        let (outcome, _) = exp.run_traced();
+        let runner = Runner::new(shrunk(), 3);
+        let outcome = runner.run(RunOptions::new().traced()).outcome;
         let report = RunReport::collect(outcome, &Obs::disabled());
         assert!(report.phases.is_empty());
         assert!(report.render_text().contains("detection rate"));
@@ -272,8 +272,8 @@ mod tests {
     fn write_produces_three_artifacts() {
         let registry = Arc::new(MetricsRegistry::new());
         let telemetry = Obs::with_metrics(registry);
-        let exp = Experiment::new_observed(shrunk(), 5, &telemetry);
-        let (outcome, _) = exp.run_observed(&telemetry);
+        let runner = Runner::new_observed(shrunk(), 5, &telemetry);
+        let outcome = runner.run(RunOptions::new().observed(&telemetry)).outcome;
         let report = RunReport::collect(outcome, &telemetry);
         let dir = std::env::temp_dir().join(format!("secloc-report-{}", std::process::id()));
         let written = report.write(&dir, "t").unwrap();
@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn rounds_csv_one_row_per_seed() {
         let outcomes: Vec<(u64, SimOutcome)> = (0..2)
-            .map(|s| (s, Experiment::new(shrunk(), s).run()))
+            .map(|s| (s, Runner::new(shrunk(), s).run(RunOptions::new()).outcome))
             .collect();
         let dir = std::env::temp_dir().join(format!("secloc-rounds-{}", std::process::id()));
         let path = write_rounds_csv(&dir, "rounds.csv", &outcomes).unwrap();

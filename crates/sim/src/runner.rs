@@ -1,0 +1,790 @@
+//! The unified experiment entry point: [`Runner`] + [`RunOptions`].
+//!
+//! One `run` method replaces the old `run` / `run_traced` /
+//! `run_observed` / `run_reference` quartet: callers compose what they
+//! need with the [`RunOptions`] builder and get back a [`RunOutput`].
+//! The same entry point threads an optional [`FaultPlan`] through every
+//! phase; an empty plan is guaranteed bit-identical to a fault-free run
+//! (`tests/equivalence.rs` enforces it).
+
+use crate::deploy::subseed;
+use crate::probe::ProbeFaults;
+use crate::trace::{AlertSource, Trace};
+use crate::{Deployment, NodeKind, ProbeContext, SimConfig, SimOutcome};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use secloc_attack::{Action, CollusionPolicy};
+use secloc_core::{Alert, AlertMetrics, BaseStation, RevocationConfig};
+use secloc_crypto::NodeId;
+use secloc_faults::{AlertChannel, ChurnSchedule, DriftTable, FaultPlan, NoiseField};
+use secloc_localization::{Estimator, LocationReference, MmseEstimator};
+use secloc_obs::{Obs, Value};
+use secloc_radio::loss::send_reliable;
+use secloc_radio::{Cycles, EventQueue};
+
+/// A reference a sensor kept for localization, tagged with its source.
+#[derive(Debug, Clone, Copy)]
+struct KeptReference {
+    beacon: u32,
+    reference: LocationReference,
+}
+
+/// How to run one experiment: tracing, telemetry, the reference (pre-
+/// optimization) path, and fault injection, all opt-in.
+///
+/// ```
+/// use secloc_sim::{RunOptions, Runner, SimConfig};
+///
+/// let runner = Runner::new(SimConfig {
+///     nodes: 300,
+///     beacons: 30,
+///     malicious: 3,
+///     ..SimConfig::paper_default()
+/// }, 7);
+/// let plain = runner.run(RunOptions::new());
+/// assert!(plain.trace.is_none());
+/// let traced = runner.run(RunOptions::new().traced());
+/// assert_eq!(traced.outcome, plain.outcome);
+/// assert!(traced.trace.is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions<'a> {
+    traced: bool,
+    observed: Option<&'a Obs>,
+    reference: bool,
+    faults: Option<FaultPlan>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// The plain run: optimized path, no trace, no telemetry, faults
+    /// taken from the configuration's [`SimConfig::faults`] plan.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Also return the ordered audit [`Trace`] of the revocation phase.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Record telemetry on `obs`: per-phase wall-time spans
+    /// (`phase.{detection,location,alert_delivery,revocation,impact}`),
+    /// verdict/alert counters, `phase` / `revocation` / `round.snapshot`
+    /// events, and a final `run.end` marker. Instrumentation consumes no
+    /// randomness, so observed and unobserved runs produce identical
+    /// outcomes.
+    pub fn observed(mut self, obs: &'a Obs) -> Self {
+        self.observed = Some(obs);
+        self
+    }
+
+    /// Use the pre-optimization path: allocating neighbour queries,
+    /// per-pop heap maintenance and a two-pass impact computation. Kept so
+    /// the perf regression harness (`benches/hot_paths.rs`) can measure an
+    /// honest before/after ratio, and so `tests/equivalence.rs` can prove
+    /// the optimized path produces bit-identical outcomes. Both paths draw
+    /// from the same seeded RNG streams in the same order.
+    pub fn reference(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
+    /// Inject `plan` instead of the configuration's [`SimConfig::faults`]
+    /// plan. Passing `FaultPlan::default()` explicitly disables injection
+    /// even when the configuration carries a plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// What one run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The paper's measurements.
+    pub outcome: SimOutcome,
+    /// The revocation audit trail, present iff [`RunOptions::traced`].
+    pub trace: Option<Trace>,
+}
+
+/// One end-to-end simulation run on a fixed deployment.
+///
+/// Phases (each driven from the deterministic [`EventQueue`]):
+///
+/// 1. **Detection** — every benign beacon probes, under each of its `m`
+///    detecting IDs, every beacon it can hear (directly or through the
+///    wormhole) and raises at most one alert per target.
+/// 2. **Location discovery** — every sensor requests a beacon signal from
+///    each beacon it can hear and keeps the signals that pass its replay
+///    filters.
+/// 3. **Revocation** — colluding malicious beacons flood their alert
+///    budget first (worst case for the defender), then benign alerts
+///    arrive in randomised order; the base station applies the (τ, τ′)
+///    counters of §3.1.
+/// 4. **Impact measurement** — poisoned references from revoked beacons
+///    are discarded and the paper's metrics are computed.
+///
+/// Under a non-empty [`FaultPlan`] the run additionally suffers beacon
+/// churn (dead nodes neither probe nor reply), regional ranging noise and
+/// per-node clock skew (degrading each affected exchange), and bursty
+/// alert-channel loss. Every fault category draws from its own seeded RNG
+/// stream, so enabling one never perturbs the draws of the others — or of
+/// the fault-free machinery.
+#[derive(Debug)]
+pub struct Runner {
+    deployment: Deployment,
+    seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner on a fresh deployment drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`SimConfig::validate`]; use
+    /// [`Runner::try_new`] to handle the error instead.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        Runner {
+            deployment: Deployment::generate(config, seed),
+            seed,
+        }
+    }
+
+    /// Fallible [`Runner::new`], reporting an invalid configuration as a
+    /// typed [`crate::ConfigError`].
+    pub fn try_new(config: SimConfig, seed: u64) -> Result<Self, crate::ConfigError> {
+        Ok(Runner {
+            deployment: Deployment::try_generate(config, seed)?,
+            seed,
+        })
+    }
+
+    /// Like [`Runner::new`], but times deployment generation under the
+    /// `phase.deploy` span and announces the phase on the event sink.
+    pub fn new_observed(config: SimConfig, seed: u64, telemetry: &Obs) -> Self {
+        telemetry.emit("phase", &[("name", Value::Str("deploy".to_string()))]);
+        let span = telemetry.span("phase.deploy");
+        let deployment = Deployment::generate(config, seed);
+        span.finish();
+        Runner { deployment, seed }
+    }
+
+    /// The underlying deployment (for inspection and plotting).
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Runs all phases per `options` and returns the measurements (plus
+    /// the audit trace when requested).
+    pub fn run(&self, options: RunOptions<'_>) -> RunOutput {
+        let disabled = Obs::disabled();
+        let telemetry = options.observed.unwrap_or(&disabled);
+        let plan = options
+            .faults
+            .as_ref()
+            .unwrap_or(&self.deployment.config().faults);
+        let (outcome, trace) = self.run_impl(telemetry, !options.reference, plan);
+        RunOutput {
+            outcome,
+            trace: options.traced.then_some(trace),
+        }
+    }
+
+    fn run_impl(&self, telemetry: &Obs, optimized: bool, plan: &FaultPlan) -> (SimOutcome, Trace) {
+        let mut trace = Trace::new();
+        let d = &self.deployment;
+        let cfg = d.config();
+        let ctx = ProbeContext::with_obs(d, telemetry);
+        let mut probe_rng = StdRng::seed_from_u64(subseed(self.seed, b"probe"));
+        let mut order_rng = StdRng::seed_from_u64(subseed(self.seed, b"order"));
+        telemetry.emit(
+            "run.start",
+            &[
+                ("seed", Value::U64(self.seed)),
+                ("nodes", Value::U64(cfg.nodes as u64)),
+                ("beacons", Value::U64(cfg.beacons as u64)),
+                ("malicious", Value::U64(cfg.malicious as u64)),
+            ],
+        );
+
+        // ---- Fault-plan resolution. -----------------------------------
+        // Each category resolves from its own subseeded stream; an absent
+        // category touches no RNG and installs no machinery, which is what
+        // makes an empty plan bit-identical to a fault-free run.
+        let noise = (!plan.noise_regions.is_empty()).then(|| NoiseField::new(&plan.noise_regions));
+        let drift = plan
+            .clock_drift
+            .map(|spec| DriftTable::generate(&spec, cfg.nodes, subseed(self.seed, b"fault-drift")));
+        let churn = plan.churn.as_ref().map(|spec| {
+            ChurnSchedule::generate(spec, cfg.beacons, subseed(self.seed, b"fault-churn"))
+        });
+        // Per-node degradation, resolved once: the requester's position is
+        // static, so its noise figure and skew are too.
+        let node_faults: Option<Vec<ProbeFaults>> =
+            (noise.is_some() || drift.is_some()).then(|| {
+                (0..cfg.nodes)
+                    .map(|i| ProbeFaults {
+                        noise_figure: noise.as_ref().map_or(1.0, |f| f.figure_at(d.position(i))),
+                        skew: drift.as_ref().map_or(Cycles::ZERO, |t| t.skew(i)),
+                    })
+                    .collect()
+            });
+        let fx_of = |i: u32| {
+            node_faults
+                .as_ref()
+                .map_or(&ProbeFaults::NONE, |v| &v[i as usize])
+        };
+        if let Some(c) = &churn {
+            telemetry.add("faults.churn.outages", c.outage_count() as u64);
+        }
+        let mut churn_suppressed = 0u64;
+        let mut noise_perturbed = 0u64;
+        let mut drift_skewed = 0u64;
+
+        // ---- Phase 1: detection probes by benign beacons. -------------
+        telemetry.emit("phase", &[("name", Value::Str("detection".to_string()))]);
+        let detection_span = telemetry.span("phase.detection");
+        let detectors = d.beacons_of_kind(NodeKind::BenignBeacon);
+        // Scratch buffer reused for every audible-beacon query in the run.
+        let mut audible: Vec<u32> = Vec::new();
+        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
+        for &u in &detectors {
+            if optimized {
+                self.audible_beacons_into(u, &mut audible);
+            } else {
+                audible = self.audible_beacons(u);
+            }
+            for &v in &audible {
+                queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (u, v));
+            }
+        }
+        let mut benign_alerts: Vec<Alert> = Vec::new();
+        {
+            let mut handle = |t: Cycles, u: u32, v: u32| {
+                if let Some(c) = &churn {
+                    let frac = t.as_u64() as f64 / 1_000_000.0;
+                    if !c.is_alive(u, frac) || !c.is_alive(v, frac) {
+                        churn_suppressed += 1;
+                        return;
+                    }
+                }
+                let fx = fx_of(u);
+                if fx.noise_figure != 1.0 {
+                    noise_perturbed += 1;
+                }
+                if fx.skew != Cycles::ZERO {
+                    drift_skewed += 1;
+                }
+                for k in 0..cfg.detecting_ids {
+                    let wire = d.ids().detecting_id(u, k);
+                    let Some(result) = ctx.probe_with(u, wire, v, fx, &mut probe_rng) else {
+                        break;
+                    };
+                    if result.outcome.raises_alert() {
+                        benign_alerts.push(Alert::new(NodeId(u), NodeId(v)));
+                        break; // one alert per (detector, target)
+                    }
+                }
+            };
+            if optimized {
+                // One sort instead of per-pop heap maintenance; same order.
+                for (t, (u, v)) in queue.drain_ordered() {
+                    handle(t, u, v);
+                }
+            } else {
+                while let Some((t, (u, v))) = queue.pop() {
+                    handle(t, u, v);
+                }
+            }
+        }
+        telemetry.add("detect.alerts_raised", benign_alerts.len() as u64);
+        detection_span.finish();
+
+        // ---- Phase 2: location discovery by sensors. ------------------
+        telemetry.emit("phase", &[("name", Value::Str("location".to_string()))]);
+        let location_span = telemetry.span("phase.location");
+        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
+        for w in d.sensors() {
+            if optimized {
+                self.audible_beacons_into(w, &mut audible);
+            } else {
+                audible = self.audible_beacons(w);
+            }
+            for &v in &audible {
+                queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (w, v));
+            }
+        }
+        let mut kept: Vec<Vec<KeptReference>> = vec![Vec::new(); cfg.nodes as usize];
+        // poisoned[v] = sensors that accepted a malicious signal from v.
+        let mut poisoned: Vec<Vec<u32>> = vec![Vec::new(); cfg.beacons as usize];
+        {
+            let mut handle = |t: Cycles, w: u32, v: u32| {
+                if let Some(c) = &churn {
+                    let frac = t.as_u64() as f64 / 1_000_000.0;
+                    if !c.is_alive(v, frac) {
+                        churn_suppressed += 1;
+                        return;
+                    }
+                }
+                let fx = fx_of(w);
+                if fx.noise_figure != 1.0 {
+                    noise_perturbed += 1;
+                }
+                if fx.skew != Cycles::ZERO {
+                    drift_skewed += 1;
+                }
+                let Some(result) = ctx.probe_with(w, NodeId(w), v, fx, &mut probe_rng) else {
+                    return;
+                };
+                if !result.accepted_for_localization {
+                    return;
+                }
+                kept[w as usize].push(KeptReference {
+                    beacon: v,
+                    reference: LocationReference::new(
+                        result.observation.declared_position,
+                        result.observation.measured_distance_ft,
+                    ),
+                });
+                if result.action == Some(Action::MaliciousSignal) {
+                    poisoned[v as usize].push(w);
+                }
+            };
+            if optimized {
+                for (t, (w, v)) in queue.drain_ordered() {
+                    handle(t, w, v);
+                }
+            } else {
+                while let Some((t, (w, v))) = queue.pop() {
+                    handle(t, w, v);
+                }
+            }
+        }
+        telemetry.add(
+            "location.references_kept",
+            kept.iter().map(|k| k.len() as u64).sum(),
+        );
+        telemetry.add(
+            "location.sensors_poisoned",
+            poisoned.iter().map(|p| p.len() as u64).sum(),
+        );
+        if churn.is_some() {
+            telemetry.add("faults.churn.suppressed", churn_suppressed);
+        }
+        if noise.is_some() {
+            telemetry.add("faults.noise.perturbed", noise_perturbed);
+        }
+        if drift.is_some() {
+            telemetry.add("faults.drift.skewed", drift_skewed);
+        }
+        location_span.finish();
+
+        // ---- Phase 3a: alert delivery over the lossy report channel. ---
+        // Alerts cross a lossy multi-hop path; the paper assumes
+        // retransmission makes delivery effectively reliable, which the
+        // loss model + retransmission budget discharge explicitly. The
+        // delivery draws happen here, alert by alert in submission order,
+        // exactly as before the phase split. A burst-loss plan swaps the
+        // Bernoulli process for a Gilbert–Elliott channel; without one the
+        // channel wraps the identical Bernoulli process (same draws).
+        telemetry.emit(
+            "phase",
+            &[("name", Value::Str("alert_delivery".to_string()))],
+        );
+        let delivery_span = telemetry.span("phase.alert_delivery");
+        let mut alert_loss = AlertChannel::from_plan(plan, cfg.alert_loss_rate);
+        let mut loss_rng = StdRng::seed_from_u64(subseed(self.seed, b"alert-loss"));
+        let mut lost_transmissions = 0u64;
+        let mut delivered = |rng: &mut StdRng, loss: &mut AlertChannel| {
+            let sent = send_reliable(loss, cfg.alert_retransmissions, rng);
+            lost_transmissions += (sent.transmissions - u32::from(sent.delivered)) as u64;
+            sent.delivered
+        };
+        let mut submissions: Vec<(Alert, AlertSource, bool)> = Vec::new();
+        let mut collusion_alerts = 0usize;
+        if cfg.collusion && cfg.malicious > 0 {
+            let colluders: Vec<NodeId> = d
+                .beacons_of_kind(NodeKind::MaliciousBeacon)
+                .into_iter()
+                // A colluder that churn killed for good sends nothing; one
+                // that rebooted rejoins the spam campaign.
+                .filter(|&b| churn.as_ref().is_none_or(|c| c.is_alive(b, 1.0)))
+                .map(NodeId)
+                .collect();
+            let mut victims: Vec<NodeId> = detectors.iter().copied().map(NodeId).collect();
+            victims.shuffle(&mut order_rng);
+            let policy = CollusionPolicy::new(cfg.tau, cfg.tau_prime);
+            for (reporter, target) in policy.alerts(&colluders, &victims) {
+                let ok = delivered(&mut loss_rng, &mut alert_loss);
+                submissions.push((Alert::new(reporter, target), AlertSource::Collusion, ok));
+                collusion_alerts += 1;
+            }
+        }
+        benign_alerts.shuffle(&mut order_rng);
+        let benign_alert_count = benign_alerts.len();
+        for alert in benign_alerts {
+            let ok = delivered(&mut loss_rng, &mut alert_loss);
+            submissions.push((alert, AlertSource::Detection, ok));
+        }
+        telemetry.add("alerts.sent.collusion", collusion_alerts as u64);
+        telemetry.add("alerts.sent.detection", benign_alert_count as u64);
+        telemetry.add(
+            "alerts.dropped_in_transit",
+            submissions.iter().filter(|(_, _, ok)| !ok).count() as u64,
+        );
+        if plan.burst_loss.is_some() {
+            telemetry.add("faults.channel.lost_transmissions", lost_transmissions);
+        }
+        delivery_span.finish();
+
+        // ---- Phase 3b: revocation at the base station. -----------------
+        telemetry.emit("phase", &[("name", Value::Str("revocation".to_string()))]);
+        let revocation_span = telemetry.span("phase.revocation");
+        let alert_metrics = telemetry.metrics().map(|r| AlertMetrics::new(r));
+        let mut station = BaseStation::new(RevocationConfig {
+            tau: cfg.tau,
+            tau_prime: cfg.tau_prime,
+        });
+        for (alert, source, ok) in submissions {
+            let outcome = if ok {
+                station.process(alert)
+            } else {
+                secloc_core::AlertOutcome::Accepted // hypothetical; not counted
+            };
+            if ok {
+                if let Some(m) = &alert_metrics {
+                    m.record(outcome);
+                }
+                if outcome == secloc_core::AlertOutcome::AcceptedAndRevoked {
+                    telemetry.emit(
+                        "revocation",
+                        &[
+                            ("target", Value::U64(alert.target.0 as u64)),
+                            ("reporter", Value::U64(alert.reporter.0 as u64)),
+                            (
+                                "source",
+                                Value::Str(
+                                    match source {
+                                        AlertSource::Detection => "detection",
+                                        AlertSource::Collusion => "collusion",
+                                    }
+                                    .to_string(),
+                                ),
+                            ),
+                        ],
+                    );
+                }
+            }
+            trace.record(alert.reporter, alert.target, source, outcome, ok);
+        }
+        revocation_span.finish();
+
+        // ---- Phase 4: impact metrics. ----------------------------------
+        telemetry.emit("phase", &[("name", Value::Str("impact".to_string()))]);
+        let impact_span = telemetry.span("phase.impact");
+        let malicious = d.beacons_of_kind(NodeKind::MaliciousBeacon);
+        let benign = detectors;
+        let revoked_malicious = malicious
+            .iter()
+            .filter(|&&v| station.is_revoked(NodeId(v)))
+            .count() as u32;
+        let revoked_benign = benign
+            .iter()
+            .filter(|&&v| station.is_revoked(NodeId(v)))
+            .count() as u32;
+
+        let (affected_before, affected_after) = if malicious.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let before: usize = malicious.iter().map(|&v| poisoned[v as usize].len()).sum();
+            let after: usize = malicious
+                .iter()
+                .filter(|&&v| !station.is_revoked(NodeId(v)))
+                .map(|&v| poisoned[v as usize].len())
+                .sum();
+            (
+                before as f64 / malicious.len() as f64,
+                after as f64 / malicious.len() as f64,
+            )
+        };
+
+        let estimator = MmseEstimator::default();
+        let field = secloc_geometry::Field::square(cfg.field_side_ft);
+        let mean_error = |filter_revoked: bool| -> Option<f64> {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for w in d.sensors() {
+                let refs: Vec<LocationReference> = kept[w as usize]
+                    .iter()
+                    .filter(|k| !filter_revoked || !station.is_revoked(NodeId(k.beacon)))
+                    .map(|k| k.reference)
+                    .collect();
+                if refs.len() < estimator.min_references() {
+                    continue;
+                }
+                if let Ok(est) = estimator.estimate(&refs) {
+                    // A deployed node knows the field bounds; wildly
+                    // inconsistent (poisoned) constraints can push the
+                    // least-squares solution outside them, so clamp like a
+                    // real stack would.
+                    let clamped = field.clamp(est.position);
+                    sum += clamped.distance(d.position(w));
+                    n += 1;
+                }
+            }
+            (n > 0).then(|| sum / n as f64)
+        };
+
+        // Single pass over the sensors with reused scratch buffers; when
+        // revocation removed none of a sensor's references the second
+        // (filtered) estimate is the same pure function of the same inputs,
+        // so the first result is reused instead of recomputed. The per-
+        // accumulator addition order matches the two-pass reference, so the
+        // means are bit-identical.
+        let mean_errors_single_pass = || -> (Option<f64>, Option<f64>) {
+            let (mut sum_b, mut n_b) = (0.0f64, 0usize);
+            let (mut sum_a, mut n_a) = (0.0f64, 0usize);
+            let mut refs: Vec<LocationReference> = Vec::new();
+            let mut refs_kept: Vec<LocationReference> = Vec::new();
+            for w in d.sensors() {
+                let ks = &kept[w as usize];
+                refs.clear();
+                refs.extend(ks.iter().map(|k| k.reference));
+                refs_kept.clear();
+                refs_kept.extend(
+                    ks.iter()
+                        .filter(|k| !station.is_revoked(NodeId(k.beacon)))
+                        .map(|k| k.reference),
+                );
+                let est_before = (refs.len() >= estimator.min_references())
+                    .then(|| estimator.estimate(&refs).ok())
+                    .flatten();
+                if let Some(est) = &est_before {
+                    sum_b += field.clamp(est.position).distance(d.position(w));
+                    n_b += 1;
+                }
+                let est_after = if refs_kept.len() == refs.len() {
+                    est_before // nothing filtered: identical inputs
+                } else if refs_kept.len() >= estimator.min_references() {
+                    estimator.estimate(&refs_kept).ok()
+                } else {
+                    None
+                };
+                if let Some(est) = est_after {
+                    sum_a += field.clamp(est.position).distance(d.position(w));
+                    n_a += 1;
+                }
+            }
+            (
+                (n_b > 0).then(|| sum_b / n_b as f64),
+                (n_a > 0).then(|| sum_a / n_a as f64),
+            )
+        };
+        let (err_before, err_after) = if optimized {
+            mean_errors_single_pass()
+        } else {
+            (mean_error(false), mean_error(true))
+        };
+
+        let outcome = SimOutcome {
+            malicious_total: malicious.len() as u32,
+            benign_total: benign.len() as u32,
+            revoked_malicious,
+            revoked_benign,
+            affected_before,
+            affected_after,
+            benign_alerts: benign_alert_count,
+            collusion_alerts,
+            mean_requesters_per_beacon: d.mean_requesters_per_beacon(),
+            mean_loc_error_before_ft: err_before,
+            mean_loc_error_after_ft: err_after,
+        };
+        impact_span.finish();
+        telemetry.set_gauge("sim.revoked_malicious", outcome.revoked_malicious as i64);
+        telemetry.set_gauge("sim.revoked_benign", outcome.revoked_benign as i64);
+        telemetry.emit(
+            "round.snapshot",
+            &[
+                ("seed", Value::U64(self.seed)),
+                (
+                    "revoked_malicious",
+                    Value::U64(outcome.revoked_malicious as u64),
+                ),
+                ("revoked_benign", Value::U64(outcome.revoked_benign as u64)),
+                ("benign_alerts", Value::U64(outcome.benign_alerts as u64)),
+                (
+                    "collusion_alerts",
+                    Value::U64(outcome.collusion_alerts as u64),
+                ),
+                ("detection_rate", Value::F64(outcome.detection_rate())),
+                (
+                    "false_positive_rate",
+                    Value::F64(outcome.false_positive_rate()),
+                ),
+                ("affected_after", Value::F64(outcome.affected_after)),
+            ],
+        );
+        telemetry.emit("run.end", &[("seed", Value::U64(self.seed))]);
+        telemetry.flush();
+        (outcome, trace)
+    }
+
+    /// Beacons a node can hear: direct neighbours plus benign beacons
+    /// reachable through the wormhole.
+    ///
+    /// Pre-optimization version: allocates the result and scans every
+    /// beacon for wormhole reachability. Used only by the reference path;
+    /// the optimized run uses [`Runner::audible_beacons_into`].
+    fn audible_beacons(&self, node: u32) -> Vec<u32> {
+        let d = &self.deployment;
+        let cfg = d.config();
+        let mut targets: Vec<u32> = d
+            .neighbors(node)
+            .into_iter()
+            .filter(|&v| v < cfg.beacons)
+            .collect();
+        if let Some(w) = d.wormhole() {
+            let my_pos = d.position(node);
+            for v in 0..cfg.beacons {
+                if v == node || d.kind(v) != NodeKind::BenignBeacon {
+                    continue;
+                }
+                let vp = d.position(v);
+                if my_pos.distance(vp) > cfg.range_ft && w.tunnels(vp, my_pos, cfg.range_ft) {
+                    targets.push(v);
+                }
+            }
+        }
+        targets
+    }
+
+    /// Allocation-free [`Runner::audible_beacons`]: clears `out` and
+    /// fills it with the same beacons in the same order — direct
+    /// neighbours ascending (from the beacon-only index), then
+    /// wormhole-carried benign beacons ascending (from the precomputed
+    /// exit list).
+    fn audible_beacons_into(&self, node: u32, out: &mut Vec<u32>) {
+        let d = &self.deployment;
+        let cfg = d.config();
+        d.beacons_in_range_into(node, out);
+        if !d.wormhole_exits().is_empty() {
+            let my_pos = d.position(node);
+            for &(v, exit) in d.wormhole_exits() {
+                if v == node {
+                    continue;
+                }
+                let vp = d.position(v);
+                if my_pos.distance(vp) > cfg.range_ft && exit.distance(my_pos) <= cfg.range_ft {
+                    out.push(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secloc_faults::{BurstLossSpec, ChurnSpec, NoiseRegion, Outage};
+
+    fn small_cfg(p: f64) -> SimConfig {
+        SimConfig {
+            nodes: 400,
+            beacons: 40,
+            malicious: 4,
+            attacker_p: p,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn options_compose_and_trace_is_opt_in() {
+        let r = Runner::new(small_cfg(0.5), 3);
+        let plain = r.run(RunOptions::new());
+        assert!(plain.trace.is_none());
+        let traced = r.run(RunOptions::new().traced());
+        assert_eq!(traced.outcome, plain.outcome);
+        let t = traced.trace.expect("requested");
+        assert_eq!(
+            t.records().len(),
+            plain.outcome.benign_alerts + plain.outcome.collusion_alerts
+        );
+        let reference = r.run(RunOptions::new().reference());
+        assert_eq!(reference.outcome, plain.outcome);
+    }
+
+    #[test]
+    fn try_new_surfaces_config_errors() {
+        let mut bad = small_cfg(0.5);
+        bad.alert_retransmissions = 0;
+        assert!(matches!(
+            Runner::try_new(bad, 1),
+            Err(crate::ConfigError::NoTransmissionBudget)
+        ));
+        assert!(Runner::try_new(small_cfg(0.5), 1).is_ok());
+    }
+
+    #[test]
+    fn explicit_empty_plan_matches_config_plan() {
+        // A config-level plan is overridden by an explicit empty plan.
+        let mut cfg = small_cfg(0.5);
+        cfg.faults = FaultPlan::default().with_clock_drift(5_000);
+        let r = Runner::new(cfg, 9);
+        let clean = Runner::new(small_cfg(0.5), 9).run(RunOptions::new());
+        let overridden = r.run(RunOptions::new().faults(FaultPlan::default()));
+        assert_eq!(overridden.outcome, clean.outcome);
+        // And without the override, the config plan applies.
+        let drifted = r.run(RunOptions::new());
+        let drifted_again = r.run(RunOptions::new());
+        assert_eq!(
+            drifted.outcome, drifted_again.outcome,
+            "still deterministic"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_match_reference() {
+        let plan = FaultPlan::default()
+            .with_burst_loss(BurstLossSpec::mild())
+            .with_noise_region(NoiseRegion::disc(
+                secloc_geometry::Point2::new(500.0, 500.0),
+                250.0,
+                2.5,
+            ))
+            .with_clock_drift(800)
+            .with_churn(ChurnSpec::random(0.2, 0.5));
+        let r = Runner::new(small_cfg(0.6), 21);
+        let a = r.run(RunOptions::new().faults(plan.clone()));
+        let b = r.run(RunOptions::new().faults(plan.clone()));
+        assert_eq!(a.outcome, b.outcome);
+        let reference = r.run(RunOptions::new().reference().faults(plan));
+        assert_eq!(reference.outcome, a.outcome);
+    }
+
+    #[test]
+    fn dead_from_start_beacons_never_interact() {
+        // Kill every malicious beacon before the run starts: no alerts can
+        // be raised against them and none of them can be revoked.
+        let mut cfg = small_cfg(0.9);
+        cfg.wormhole = None;
+        cfg.collusion = true;
+        let r = Runner::new(cfg.clone(), 5);
+        let malicious = r.deployment().beacons_of_kind(NodeKind::MaliciousBeacon);
+        let plan = FaultPlan::default().with_churn(ChurnSpec::scheduled_only(
+            malicious
+                .iter()
+                .map(|&b| Outage::dead_from_start(b))
+                .collect(),
+        ));
+        let dead = r.run(RunOptions::new().faults(plan)).outcome;
+        assert_eq!(dead.benign_alerts, 0, "dead beacons emit no signals");
+        assert_eq!(dead.collusion_alerts, 0, "dead colluders send no spam");
+        assert_eq!(dead.revoked_malicious, 0, "never revoked post-death");
+        assert_eq!(dead.affected_before, 0.0, "no sensor heard them");
+        // Sanity: alive they do get caught.
+        let alive = r.run(RunOptions::new()).outcome;
+        assert!(alive.revoked_malicious > 0);
+    }
+}

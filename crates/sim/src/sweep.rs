@@ -6,11 +6,12 @@
 //! results bit-identical to serial execution: each run is fully determined
 //! by `(config, seed)`, and outputs are returned in seed order.
 
-use crate::{Experiment, SimConfig, SimOutcome};
+use crate::{RunOptions, Runner, SimConfig, SimOutcome};
 use std::thread;
 
-/// Runs `Experiment::new(config, seed).run()` for every seed, spread over
-/// up to `threads` OS threads, returning outcomes in seed order.
+/// Runs `Runner::new(config, seed).run(RunOptions::new())` for every
+/// seed, spread over
+/// up to `threads` OS threads, returning the outcomes in seed order.
 ///
 /// Passing `threads = 1` degenerates to the serial loop; results are
 /// identical either way.
@@ -27,7 +28,11 @@ pub fn run_seeds(config: &SimConfig, seeds: &[u64], threads: usize) -> Vec<SimOu
     if threads == 1 {
         return seeds
             .iter()
-            .map(|&s| Experiment::new(config.clone(), s).run())
+            .map(|&s| {
+                Runner::new(config.clone(), s)
+                    .run(RunOptions::new())
+                    .outcome
+            })
             .collect();
     }
     let mut slots: Vec<Option<SimOutcome>> = vec![None; seeds.len()];
@@ -53,7 +58,11 @@ pub fn run_seeds(config: &SimConfig, seeds: &[u64], threads: usize) -> Vec<SimOu
             let seeds = &seeds[offset..offset + chunk.len()];
             scope.spawn(move || {
                 for (slot, &seed) in chunk.iter_mut().zip(seeds) {
-                    *slot = Some(Experiment::new(config.clone(), seed).run());
+                    *slot = Some(
+                        Runner::new(config.clone(), seed)
+                            .run(RunOptions::new())
+                            .outcome,
+                    );
                 }
             });
         }
@@ -100,7 +109,7 @@ mod tests {
         let seeds = [5u64, 1, 9];
         let out = run_seeds(&cfg(), &seeds, 3);
         for (i, &s) in seeds.iter().enumerate() {
-            assert_eq!(out[i], Experiment::new(cfg(), s).run());
+            assert_eq!(out[i], Runner::new(cfg(), s).run(RunOptions::new()).outcome);
         }
     }
 

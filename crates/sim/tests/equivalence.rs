@@ -6,8 +6,15 @@
 //! order, same floating-point operations, same `SimOutcome`. This test
 //! holds that claim against the preserved pre-optimization path across
 //! seeds and across the attack-surface corners a run can exercise.
+//!
+//! The fault-injection subsystem makes a second bit-identity claim: a run
+//! under an **empty** `FaultPlan` is indistinguishable — same draws, same
+//! bits — from a run of the pre-fault simulator, and the deprecated
+//! `Experiment` wrappers still produce the same outcomes as `Runner`.
 
-use secloc_sim::{Experiment, SimConfig};
+use secloc_faults::{BurstLossSpec, ChurnSpec, NoiseRegion, Outage};
+use secloc_geometry::Point2;
+use secloc_sim::{Experiment, FaultPlan, RunOptions, Runner, SimConfig};
 
 fn base() -> SimConfig {
     SimConfig {
@@ -18,9 +25,8 @@ fn base() -> SimConfig {
     }
 }
 
-#[test]
-fn optimized_run_matches_reference_across_seeds_and_configs() {
-    let configs: Vec<(&str, SimConfig)> = vec![
+fn corner_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
         (
             "default",
             SimConfig {
@@ -67,14 +73,105 @@ fn optimized_run_matches_reference_across_seeds_and_configs() {
                 ..base()
             },
         ),
-    ];
-    for (name, cfg) in configs {
+    ]
+}
+
+#[test]
+fn optimized_run_matches_reference_across_seeds_and_configs() {
+    for (name, cfg) in corner_configs() {
         for seed in 0..3u64 {
-            let exp = Experiment::new(cfg.clone(), seed);
+            let runner = Runner::new(cfg.clone(), seed);
             assert_eq!(
-                exp.run(),
-                exp.run_reference(),
+                runner.run(RunOptions::new()).outcome,
+                runner.run(RunOptions::new().reference()).outcome,
                 "optimized and reference runs diverged: {name}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_fault_free_run() {
+    // Three ways of saying "no faults" — the config default, an explicit
+    // empty plan, and the legacy `Experiment::run()` wrapper — must all
+    // yield the exact same `SimOutcome`, on both execution paths.
+    for (name, cfg) in corner_configs() {
+        for seed in 0..3u64 {
+            let runner = Runner::new(cfg.clone(), seed);
+            let plain = runner.run(RunOptions::new()).outcome;
+            let explicit_empty = runner
+                .run(RunOptions::new().faults(FaultPlan::default()))
+                .outcome;
+            assert_eq!(
+                plain, explicit_empty,
+                "explicit empty plan diverged: {name}, seed {seed}"
+            );
+            let reference_empty = runner
+                .run(RunOptions::new().reference().faults(FaultPlan::none()))
+                .outcome;
+            assert_eq!(
+                plain, reference_empty,
+                "reference path under empty plan diverged: {name}, seed {seed}"
+            );
+            #[allow(deprecated)]
+            let legacy = Experiment::new(cfg.clone(), seed).run();
+            assert_eq!(
+                plain, legacy,
+                "legacy wrapper diverged: {name}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_match_reference_across_fault_categories() {
+    // Each fault category alone, then all at once: the optimized and
+    // reference paths must stay bit-identical under injection too (the
+    // fault draws come from their own streams on both paths).
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        (
+            "burst-loss",
+            FaultPlan::default().with_burst_loss(BurstLossSpec::severe()),
+        ),
+        (
+            "regional-noise",
+            FaultPlan::default().with_noise_region(NoiseRegion::disc(
+                Point2::new(300.0, 300.0),
+                250.0,
+                3.0,
+            )),
+        ),
+        ("clock-drift", FaultPlan::default().with_clock_drift(1_000)),
+        (
+            "churn",
+            FaultPlan::default().with_churn(ChurnSpec {
+                outage_rate: 0.25,
+                max_downtime_frac: 0.6,
+                scheduled: vec![Outage::dead_from_start(3)],
+            }),
+        ),
+        (
+            "everything",
+            FaultPlan::default()
+                .with_burst_loss(BurstLossSpec::mild())
+                .with_noise_region(NoiseRegion::whole_field(1000.0, 1.8))
+                .with_clock_drift(500)
+                .with_churn(ChurnSpec::random(0.15, 0.4)),
+        ),
+    ];
+    let cfg = SimConfig {
+        attacker_p: 0.6,
+        ..base()
+    };
+    for (name, plan) in plans {
+        for seed in 0..2u64 {
+            let runner = Runner::new(cfg.clone(), seed);
+            assert_eq!(
+                runner.run(RunOptions::new().faults(plan.clone())).outcome,
+                runner
+                    .run(RunOptions::new().reference().faults(plan.clone()))
+                    .outcome,
+                "faulted paths diverged: {name}, seed {seed}"
             );
         }
     }
@@ -85,6 +182,14 @@ fn paper_scale_run_matches_reference() {
     // One full paper_default-scale run (1000 nodes): the scale the ≥2×
     // throughput claim is made at must also be the scale equivalence holds
     // at.
-    let exp = Experiment::new(SimConfig::paper_default(), 42);
-    assert_eq!(exp.run(), exp.run_reference());
+    let runner = Runner::new(SimConfig::paper_default(), 42);
+    let plain = runner.run(RunOptions::new()).outcome;
+    assert_eq!(plain, runner.run(RunOptions::new().reference()).outcome);
+    // The empty-plan guarantee holds at paper scale too.
+    assert_eq!(
+        plain,
+        runner
+            .run(RunOptions::new().faults(FaultPlan::default()))
+            .outcome
+    );
 }

@@ -2,7 +2,7 @@
 //! and produces the exact same measurements as an uninstrumented run.
 
 use secloc_obs::{MemorySink, MetricsRegistry, Obs, Value};
-use secloc_sim::{Experiment, SimConfig};
+use secloc_sim::{RunOptions, Runner, SimConfig};
 use std::sync::Arc;
 
 fn shrunk() -> SimConfig {
@@ -21,8 +21,9 @@ fn instrumented_run_emits_expected_event_kinds_in_order() {
     let sink = Arc::new(MemorySink::new());
     let telemetry = Obs::new(Some(registry.clone()), Some(sink.clone()));
 
-    let exp = Experiment::new_observed(shrunk(), 11, &telemetry);
-    let (outcome, trace) = exp.run_observed(&telemetry);
+    let runner = Runner::new_observed(shrunk(), 11, &telemetry);
+    let out = runner.run(RunOptions::new().traced().observed(&telemetry));
+    let (outcome, trace) = (out.outcome, out.trace.expect("traced"));
 
     let events = sink.events();
     assert!(!events.is_empty());
@@ -84,8 +85,8 @@ fn instrumented_counters_agree_with_outcome() {
     let registry = Arc::new(MetricsRegistry::new());
     let telemetry = Obs::with_metrics(registry.clone());
 
-    let exp = Experiment::new_observed(shrunk(), 23, &telemetry);
-    let (outcome, _) = exp.run_observed(&telemetry);
+    let runner = Runner::new_observed(shrunk(), 23, &telemetry);
+    let outcome = runner.run(RunOptions::new().observed(&telemetry)).outcome;
     let snap = registry.snapshot();
 
     assert_eq!(
@@ -123,13 +124,14 @@ fn instrumented_counters_agree_with_outcome() {
 #[test]
 fn instrumentation_does_not_change_outcomes() {
     for seed in [1u64, 17, 99] {
-        let plain = Experiment::new(shrunk(), seed).run();
+        let plain = Runner::new(shrunk(), seed).run(RunOptions::new()).outcome;
 
         let registry = Arc::new(MetricsRegistry::new());
         let sink = Arc::new(MemorySink::new());
         let telemetry = Obs::new(Some(registry), Some(sink));
-        let (observed, _) =
-            Experiment::new_observed(shrunk(), seed, &telemetry).run_observed(&telemetry);
+        let observed = Runner::new_observed(shrunk(), seed, &telemetry)
+            .run(RunOptions::new().observed(&telemetry))
+            .outcome;
 
         assert_eq!(plain, observed, "instrumentation perturbed seed {seed}");
     }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use secloc_sim::distributed::{run_distributed, DistributedConfig};
-use secloc_sim::{Deployment, Experiment, SimConfig};
+use secloc_sim::{Deployment, RunOptions, Runner, SimConfig};
 
 fn small_config() -> impl Strategy<Value = SimConfig> {
     (
@@ -43,7 +43,7 @@ proptest! {
 
     #[test]
     fn experiment_invariants(cfg in small_config(), seed in 0u64..1000) {
-        let outcome = Experiment::new(cfg.clone(), seed).run();
+        let outcome = Runner::new(cfg.clone(), seed).run(RunOptions::new()).outcome;
         // Rates are probabilities.
         prop_assert!((0.0..=1.0).contains(&outcome.detection_rate()));
         prop_assert!((0.0..=1.0).contains(&outcome.false_positive_rate()));
@@ -66,8 +66,8 @@ proptest! {
 
     #[test]
     fn experiment_deterministic(cfg in small_config(), seed in 0u64..1000) {
-        let a = Experiment::new(cfg.clone(), seed).run();
-        let b = Experiment::new(cfg, seed).run();
+        let a = Runner::new(cfg.clone(), seed).run(RunOptions::new()).outcome;
+        let b = Runner::new(cfg, seed).run(RunOptions::new()).outcome;
         prop_assert_eq!(a, b);
     }
 
@@ -81,7 +81,7 @@ proptest! {
             collusion: false,
             ..SimConfig::paper_default()
         };
-        let outcome = Experiment::new(cfg, seed).run();
+        let outcome = Runner::new(cfg, seed).run(RunOptions::new()).outcome;
         prop_assert_eq!(outcome.benign_alerts, 0);
         prop_assert_eq!(outcome.revoked_benign, 0);
         prop_assert_eq!(outcome.affected_before, 0.0);

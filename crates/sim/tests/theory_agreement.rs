@@ -3,7 +3,7 @@
 //! result and the theoretical result are in general close to each other").
 
 use secloc_analysis::{affected_nonbeacons, revocation_rate_pd, NetworkPopulation};
-use secloc_sim::{average_outcomes, Experiment, SimConfig, SimOutcome};
+use secloc_sim::{average_outcomes, RunOptions, Runner, SimConfig, SimOutcome};
 
 fn run_seeds(p: f64, seeds: std::ops::Range<u64>) -> (Vec<SimOutcome>, f64) {
     let cfg = SimConfig {
@@ -13,7 +13,7 @@ fn run_seeds(p: f64, seeds: std::ops::Range<u64>) -> (Vec<SimOutcome>, f64) {
         ..SimConfig::paper_default()
     };
     let outcomes: Vec<SimOutcome> = seeds
-        .map(|s| Experiment::new(cfg.clone(), s).run())
+        .map(|s| Runner::new(cfg.clone(), s).run(RunOptions::new()).outcome)
         .collect();
     let mean_nc = outcomes
         .iter()
@@ -64,7 +64,7 @@ fn no_attack_no_alerts_no_revocations() {
         wormhole: None,
         ..SimConfig::paper_default()
     };
-    let o = Experiment::new(cfg, 42).run();
+    let o = Runner::new(cfg, 42).run(RunOptions::new()).outcome;
     assert_eq!(o.benign_alerts, 0, "benign network must be alert-free");
     assert_eq!(o.revoked_benign, 0);
     assert_eq!(o.detection_rate(), 1.0); // vacuous
@@ -83,7 +83,9 @@ fn wormhole_alone_causes_bounded_false_alerts() {
     };
     let mut total_alerts = 0usize;
     for seed in 0..5 {
-        let o = Experiment::new(cfg.clone(), seed).run();
+        let o = Runner::new(cfg.clone(), seed)
+            .run(RunOptions::new())
+            .outcome;
         total_alerts += o.benign_alerts;
         // (1-p_d) N_w stays tiny; the tau' = 2 threshold keeps revocations
         // near zero.
@@ -107,7 +109,9 @@ fn collusion_false_positive_bound_holds_in_full_config() {
     let cfg = SimConfig::paper_default();
     let bound = (cfg.malicious * (cfg.tau + 1)) / (cfg.tau_prime + 1);
     for seed in 0..4 {
-        let o = Experiment::new(cfg.clone(), seed).run();
+        let o = Runner::new(cfg.clone(), seed)
+            .run(RunOptions::new())
+            .outcome;
         assert!(
             o.revoked_benign <= bound + 3,
             "seed {seed}: {} > bound {}",
@@ -129,7 +133,7 @@ fn more_detecting_ids_means_more_revocations() {
             ..SimConfig::paper_default()
         };
         let outs: Vec<SimOutcome> = (20..26)
-            .map(|s| Experiment::new(cfg.clone(), s).run())
+            .map(|s| Runner::new(cfg.clone(), s).run(RunOptions::new()).outcome)
             .collect();
         average_outcomes(&outs).detection_rate
     };

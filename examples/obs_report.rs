@@ -14,7 +14,7 @@
 
 use secloc::obs::{output, MetricsRegistry, Obs};
 use secloc::sim::report::write_rounds_csv;
-use secloc::sim::{Experiment, RunReport, SimConfig, SimOutcome};
+use secloc::sim::{RunOptions, RunReport, Runner, SimConfig, SimOutcome};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -37,8 +37,10 @@ fn main() {
     let seeds = [1u64, 2, 3, 4, 5];
     let mut rounds: Vec<(u64, SimOutcome)> = Vec::new();
     for &seed in &seeds {
-        let exp = Experiment::new_observed(config.clone(), seed, &telemetry);
-        let (outcome, _) = exp.run_observed(&telemetry);
+        let runner = Runner::new_observed(config.clone(), seed, &telemetry);
+        let outcome = runner
+            .run(RunOptions::new().traced().observed(&telemetry))
+            .outcome;
         println!(
             "seed {seed}: detection {:.2}, false positives {:.2}, N' = {:.2}",
             outcome.detection_rate(),

@@ -71,7 +71,8 @@ fn main() {
         "\nsimulating {} nodes / {} beacons / {} malicious (P = {}) ...",
         config.nodes, config.beacons, config.malicious, config.attacker_p
     );
-    let outcome = Experiment::new(config, 2005).run();
+    let runner = Runner::new(config, 2005);
+    let outcome = runner.run(RunOptions::new()).outcome;
     println!("detection rate        : {:.2}", outcome.detection_rate());
     println!(
         "false positive rate   : {:.3}",
@@ -89,4 +90,18 @@ fn main() {
     ) {
         println!("localization error    : {before:.2} ft -> {after:.2} ft after revocation");
     }
+
+    // ---------------------------------------------------------------
+    // 4. The same network under degraded conditions: a fault plan.
+    // ---------------------------------------------------------------
+    let plan = FaultPlan::default()
+        .with_burst_loss(BurstLossSpec::mild())
+        .with_clock_drift(500)
+        .with_churn(ChurnSpec::random(0.1, 0.4));
+    let degraded = runner.run(RunOptions::new().faults(plan)).outcome;
+    println!(
+        "\nunder mild faults     : detection {:.2} (clean {:.2})",
+        degraded.detection_rate(),
+        outcome.detection_rate()
+    );
 }

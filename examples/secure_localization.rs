@@ -25,7 +25,11 @@ fn main() {
         };
         let outcomes: Vec<SimOutcome> = seeds
             .iter()
-            .map(|&s| Experiment::new(config.clone(), s).run())
+            .map(|&s| {
+                Runner::new(config.clone(), s)
+                    .run(RunOptions::new())
+                    .outcome
+            })
             .collect();
         let agg = average_outcomes(&outcomes);
         let err = |f: &dyn Fn(&SimOutcome) -> Option<f64>| -> f64 {

@@ -19,8 +19,9 @@
 //! | [`localization`] | `secloc-localization` | MMSE / min-max / centroid estimators |
 //! | [`attack`] | `secloc-attack` | compromised beacons, wormholes, replayers, collusion |
 //! | [`core`] | `secloc-core` | **the paper's contribution**: detector, replay filters, revocation |
-//! | [`analysis`] | `secloc-analysis` | closed-form `P_r`, `P_d`, `N′`, `N_f`, `P_o` |
+//! | [`analysis`] | `secloc-analysis` | closed-form `P_r`, `P_d`, `N′`, `N_f`, `P_o`, empirical ROC curves |
 //! | [`sim`] | `secloc-sim` | end-to-end §4 simulation and metrics |
+//! | [`faults`] | `secloc-faults` | fault injection: burst loss, regional noise, clock drift, churn |
 //!
 //! ## Quickstart
 //!
@@ -52,9 +53,11 @@
 //! Run the paper's full simulation:
 //!
 //! ```no_run
-//! use secloc::sim::{Experiment, SimConfig};
+//! use secloc::prelude::*;
 //!
-//! let outcome = Experiment::new(SimConfig::paper_default(), 1).run();
+//! let outcome = Runner::new(SimConfig::paper_default(), 1)
+//!     .run(RunOptions::new())
+//!     .outcome;
 //! println!(
 //!     "detection rate {:.2}, false positives {:.2}, N' = {:.2}",
 //!     outcome.detection_rate(),
@@ -62,6 +65,11 @@
 //!     outcome.affected_after,
 //! );
 //! ```
+//!
+//! Degrade the run with a [`faults::FaultPlan`] (burst loss, regional
+//! ranging noise, clock drift, beacon churn) via
+//! `RunOptions::new().faults(plan)` — an empty plan is guaranteed
+//! bit-identical to a fault-free run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +78,7 @@ pub use secloc_analysis as analysis;
 pub use secloc_attack as attack;
 pub use secloc_core as core;
 pub use secloc_crypto as crypto;
+pub use secloc_faults as faults;
 pub use secloc_geometry as geometry;
 pub use secloc_localization as localization;
 pub use secloc_obs as obs;
@@ -89,8 +98,12 @@ pub mod prelude {
         WormholeFilter,
     };
     pub use secloc_crypto::{IdSpace, Key, Mac, NodeId, PairwiseKeyStore};
+    pub use secloc_faults::{BurstLossSpec, ChurnSpec, FaultPlan, NoiseRegion};
     pub use secloc_geometry::{Field, Point2, Vector2};
     pub use secloc_localization::{Estimator, LocationReference, MmseEstimator};
+    pub use secloc_obs::Obs;
     pub use secloc_radio::{timing::RttModel, Cycles};
-    pub use secloc_sim::{Experiment, SimConfig, SimOutcome};
+    pub use secloc_sim::{
+        Experiment, RunOptions, RunOutput, Runner, SimConfig, SimConfigBuilder, SimOutcome,
+    };
 }

@@ -196,8 +196,8 @@ fn facade_simulation_smoke() {
         attacker_p: 0.5,
         ..SimConfig::paper_default()
     };
-    let a = Experiment::new(cfg.clone(), 77).run();
-    let b = Experiment::new(cfg, 77).run();
+    let a = Runner::new(cfg.clone(), 77).run(RunOptions::new()).outcome;
+    let b = Runner::new(cfg, 77).run(RunOptions::new()).outcome;
     assert_eq!(a, b, "facade runs must be deterministic");
     assert!(a.detection_rate() >= 0.0 && a.detection_rate() <= 1.0);
     assert!(a.affected_after <= a.affected_before);
