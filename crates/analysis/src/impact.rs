@@ -75,6 +75,14 @@ pub fn max_affected_over_p(
 /// revoked due to undetected wormholes plus colluding malicious reporters —
 /// `N_f = ((1 − p_d) N_w + N_a (τ + 1)) / (τ′ + 1)`.
 ///
+/// The base station counts only *distinct* accusers toward τ′, so the
+/// collusion term requires a full quorum: when `N_a < τ′ + 1` the gang can
+/// never revoke anyone and the term vanishes. At and above a quorum the
+/// distinct-accuser strategy achieves exactly the paper's
+/// `N_a (τ + 1) / (τ′ + 1)`. The wormhole term is kept as the paper's
+/// upper bound (each undetected wormhole contributes at most its alert
+/// pair's worth of evidence).
+///
 /// # Panics
 ///
 /// Panics unless `p_d` lies in `[0, 1]`.
@@ -83,7 +91,13 @@ pub fn false_positives_nf(p_d: f64, n_w: u64, n_a: u64, tau: u32, tau_prime: u32
         (0.0..=1.0).contains(&p_d),
         "p_d must be in [0,1], got {p_d}"
     );
-    ((1.0 - p_d) * n_w as f64 + n_a as f64 * (tau as f64 + 1.0)) / (tau_prime as f64 + 1.0)
+    // A full quorum is n_a >= tau' + 1, i.e. strictly more than tau'.
+    let collusion = if n_a > tau_prime as u64 {
+        n_a as f64 * (tau as f64 + 1.0)
+    } else {
+        0.0
+    };
+    ((1.0 - p_d) * n_w as f64 + collusion) / (tau_prime as f64 + 1.0)
 }
 
 #[cfg(test)]
@@ -181,6 +195,17 @@ mod tests {
         // Combined: ((1-0.9)*10 + 10*3)/3 = 31/3.
         let nf = false_positives_nf(0.9, 10, 10, 2, 2);
         assert!((nf - 31.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nf_collusion_term_needs_a_quorum() {
+        // Below tau'+1 colluders there is no distinct-accuser quorum: the
+        // collusion term vanishes and only wormholes contribute.
+        assert_eq!(false_positives_nf(1.0, 0, 2, 2, 2), 0.0);
+        let wormhole_only = false_positives_nf(0.9, 10, 0, 2, 2);
+        assert_eq!(false_positives_nf(0.9, 10, 2, 2, 2), wormhole_only);
+        // At exactly a quorum the paper's term switches on.
+        assert!(false_positives_nf(0.9, 10, 3, 2, 2) > wormhole_only);
     }
 
     #[test]

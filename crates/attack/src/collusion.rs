@@ -3,14 +3,18 @@
 use secloc_crypto::NodeId;
 
 /// The strategy colluding malicious beacons use against the base station:
-/// since each reporter's accepted alerts are capped at `τ + 1` (the report
-/// counter must not have *exceeded* `τ` when an alert arrives), the best
-/// they can do is spend the whole budget on benign victims, concentrated so
-/// every `τ′ + 1` alerts revoke one victim.
+/// each reporter's accepted alerts are capped at `τ + 1` (the report
+/// counter must not have *exceeded* `τ` when an alert arrives), and the
+/// station counts only **distinct** accusers toward τ′ — repeats of an
+/// accepted `(reporter, target)` accusation are discarded. The best the
+/// colluders can do is therefore gang up: every victim is accused by a
+/// quorum of `τ′ + 1` *different* colluders, one budget unit each.
 ///
 /// "They can always make the base station revoke about
 /// `N_a (τ+1) / (τ′+1)` benign beacon nodes by simply reporting alerts"
-/// (§4). [`CollusionPolicy::expected_revocations`] is that bound;
+/// (§4) — the quorum strategy achieves exactly that bound whenever
+/// `N_a ≥ τ′ + 1`; fewer colluders than a quorum revoke nobody.
+/// [`CollusionPolicy::expected_revocations`] is that bound;
 /// [`CollusionPolicy::alerts`] emits the concrete alert stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CollusionPolicy {
@@ -36,34 +40,45 @@ impl CollusionPolicy {
         self.tau_prime + 1
     }
 
-    /// The paper's bound on benign beacons revoked through collusion.
+    /// The paper's bound on benign beacons revoked through collusion —
+    /// zero when the gang cannot field a full `τ′ + 1` quorum of distinct
+    /// accusers.
     pub fn expected_revocations(&self, num_malicious: usize) -> usize {
+        if num_malicious < self.cost_per_revocation() as usize {
+            return 0;
+        }
         (num_malicious * self.budget_per_reporter() as usize) / self.cost_per_revocation() as usize
     }
 
     /// Generates the colluders' alert stream: `(reporter, target)` pairs,
-    /// concentrating fire so victims fall one after another. Victims are
-    /// taken in the order given; malicious beacons never accuse each other
-    /// ("since this will increase the probability of a malicious beacon
-    /// node being detected", §3.2).
+    /// concentrating fire so victims fall one after another. For each
+    /// victim (taken in the order given) the `τ′ + 1` colluders with the
+    /// most remaining budget accuse it once each — distinct accusers, as
+    /// the base station requires; drawing from the largest budgets keeps
+    /// them balanced, which is what achieves the `N_a (τ+1) / (τ′+1)`
+    /// bound. The stream ends when no full quorum has budget left.
+    /// Malicious beacons never accuse each other ("since this will
+    /// increase the probability of a malicious beacon node being
+    /// detected", §3.2).
     pub fn alerts(&self, colluders: &[NodeId], victims: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+        let quorum = self.cost_per_revocation() as usize;
         let mut out = Vec::new();
-        if victims.is_empty() {
+        if colluders.len() < quorum {
             return out;
         }
-        let mut victim_iter = 0usize;
-        let mut shots_on_current = 0u32;
-        'outer: for &c in colluders {
-            for _ in 0..self.budget_per_reporter() {
-                if victim_iter >= victims.len() {
-                    break 'outer;
-                }
-                out.push((c, victims[victim_iter]));
-                shots_on_current += 1;
-                if shots_on_current >= self.cost_per_revocation() {
-                    shots_on_current = 0;
-                    victim_iter += 1;
-                }
+        let mut budget = vec![self.budget_per_reporter(); colluders.len()];
+        for &victim in victims {
+            let mut with_budget: Vec<usize> =
+                (0..colluders.len()).filter(|&i| budget[i] > 0).collect();
+            if with_budget.len() < quorum {
+                break;
+            }
+            // Stable sort: ties resolve in colluder-list order, keeping
+            // the stream fully deterministic.
+            with_budget.sort_by(|&a, &b| budget[b].cmp(&budget[a]));
+            for &i in with_budget.iter().take(quorum) {
+                out.push((colluders[i], victim));
+                budget[i] -= 1;
             }
         }
         out
@@ -138,6 +153,42 @@ mod tests {
     fn no_victims_no_alerts() {
         let p = CollusionPolicy::new(2, 2);
         assert!(p.alerts(&ids(0..3), &[]).is_empty());
+    }
+
+    #[test]
+    fn each_victim_gets_distinct_accusers() {
+        let p = CollusionPolicy::new(2, 2);
+        let alerts = p.alerts(&ids(0..5), &ids(100..200));
+        for v in 100..200u32 {
+            let accusers: Vec<NodeId> = alerts
+                .iter()
+                .filter(|(_, t)| *t == NodeId(v))
+                .map(|(r, _)| *r)
+                .collect();
+            let mut unique = accusers.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(
+                accusers.len(),
+                unique.len(),
+                "victim {v} accused twice by one colluder"
+            );
+            assert!(
+                accusers.is_empty() || accusers.len() == 3,
+                "partial quorum on {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn below_quorum_gang_stays_silent() {
+        // Two colluders cannot field a tau'+1 = 3 quorum: the distinct-
+        // accuser base station would never revoke, so spending budget only
+        // raises their own profile.
+        let p = CollusionPolicy::new(2, 2);
+        assert!(p.alerts(&ids(0..2), &ids(100..110)).is_empty());
+        assert_eq!(p.expected_revocations(2), 0);
+        assert_eq!(p.expected_revocations(3), 3);
     }
 
     #[test]

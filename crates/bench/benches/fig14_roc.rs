@@ -13,10 +13,22 @@
 
 use secloc_analysis::roc::RocModel;
 use secloc_analysis::NetworkPopulation;
-use secloc_bench::{banner, f3, Table};
-use secloc_sim::{average_outcomes, SimConfig, SimOutcome};
+use secloc_bench::{banner, f3, results_dir, Table};
+use secloc_sim::{average_outcomes, Orchestrator, SimConfig, SimOutcome, SweepSpec};
 
 const SEEDS: u64 = 4;
+
+/// All 42 ROC cells (36 sweep + 2 ablation configs x 4 seeds each) are
+/// pure functions of their config, so the bench keeps a persistent result
+/// cache: a re-run replays from `results/fig14_cache.jsonl` instead of
+/// simulating.
+fn run_cached(cfg: &SimConfig, seeds: &[u64]) -> Vec<SimOutcome> {
+    Orchestrator::new()
+        .cache(results_dir().join("fig14_cache.jsonl"))
+        .run(&SweepSpec::single(cfg, seeds))
+        .expect("fig14 sweep cache I/O")
+        .outcomes
+}
 
 fn sweep(na: u32, tau: u32, tau_primes: &[u32], table: &mut Table) {
     let pop = NetworkPopulation {
@@ -42,8 +54,7 @@ fn sweep(na: u32, tau: u32, tau_primes: &[u32], table: &mut Table) {
             attacker_p: point.attacker_p,
             ..SimConfig::paper_default()
         };
-        let outcomes: Vec<SimOutcome> =
-            secloc_sim::sweep::run_seeds_auto(&cfg, &(1000..1000 + SEEDS).collect::<Vec<u64>>());
+        let outcomes = run_cached(&cfg, &(1000..1000 + SEEDS).collect::<Vec<u64>>());
         let agg = average_outcomes(&outcomes);
         table.row([
             na.to_string(),
@@ -97,8 +108,7 @@ fn main() {
             attacker_p: 0.1,
             ..SimConfig::paper_default()
         };
-        let outcomes: Vec<SimOutcome> =
-            secloc_sim::sweep::run_seeds_auto(&cfg, &(2000..2000 + SEEDS).collect::<Vec<u64>>());
+        let outcomes = run_cached(&cfg, &(2000..2000 + SEEDS).collect::<Vec<u64>>());
         let agg = average_outcomes(&outcomes);
         ablation.row([
             na.to_string(),

@@ -22,10 +22,16 @@ use secloc_analysis::roc::{EmpiricalPoint, RobustnessCurve};
 use secloc_bench::{banner, results_dir, Table};
 use secloc_faults::{BurstLossSpec, ChurnSpec, FaultPlan, NoiseRegion};
 use secloc_obs::{MetricsRegistry, Obs};
-use secloc_sim::sweep::run_seeds_auto;
-use secloc_sim::{average_outcomes, RunOptions, Runner, SimConfig};
+use secloc_sim::{average_outcomes, Orchestrator, RunOptions, Runner, SimConfig, SweepSpec};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Cumulative cache accounting across all measured points, for the JSON
+/// artifact: a re-run against a warm `BENCH_robustness_cache.jsonl` should
+/// show `cells_executed = 0`.
+static CACHE_HITS: AtomicUsize = AtomicUsize::new(0);
+static CELLS_EXECUTED: AtomicUsize = AtomicUsize::new(0);
 
 fn base_config() -> SimConfig {
     SimConfig {
@@ -38,9 +44,18 @@ fn base_config() -> SimConfig {
 }
 
 /// Averages `seeds` runs of `config` (with its embedded fault plan) into
-/// one empirical point at `severity`.
+/// one empirical point at `severity`. Cells go through the sweep
+/// orchestrator with a persistent result cache, so re-running the bench
+/// (or running `--quick` after a full pass, whose seeds are a subset)
+/// simulates only what the cache has not seen.
 fn measure(config: &SimConfig, severity: f64, seeds: &[u64]) -> EmpiricalPoint {
-    let agg = average_outcomes(&run_seeds_auto(config, seeds));
+    let report = Orchestrator::new()
+        .cache(results_dir().join("BENCH_robustness_cache.jsonl"))
+        .run(&SweepSpec::single(config, seeds))
+        .expect("robustness sweep cache I/O");
+    CACHE_HITS.fetch_add(report.cache_hits, Ordering::Relaxed);
+    CELLS_EXECUTED.fetch_add(report.executed, Ordering::Relaxed);
+    let agg = average_outcomes(&report.outcomes);
     EmpiricalPoint {
         severity,
         detection_rate: agg.detection_rate,
@@ -210,6 +225,16 @@ fn main() {
     json.push_str("  },\n");
     let _ = writeln!(
         json,
+        "  \"cache_hits\": {},",
+        CACHE_HITS.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        json,
+        "  \"cells_executed\": {},",
+        CELLS_EXECUTED.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        json,
         "  \"noise_detection_drop\": {:.4},",
         noise.detection_drop().unwrap_or(0.0)
     );
@@ -232,6 +257,11 @@ fn main() {
         noise.detection_drop().unwrap_or(0.0),
         burst.detection_drop().unwrap_or(0.0),
         uniform.detection_drop().unwrap_or(0.0)
+    );
+    println!(
+        "  cache: {} hits, {} cells simulated",
+        CACHE_HITS.load(Ordering::Relaxed),
+        CELLS_EXECUTED.load(Ordering::Relaxed)
     );
     println!("  [json] {}", path.display());
 }

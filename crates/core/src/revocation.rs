@@ -9,8 +9,13 @@ use std::collections::{HashMap, HashSet};
 /// - `tau` (τ): per-reporter cap — an alert is accepted only while the
 ///   reporter's report counter "has not exceeded" τ, so each node gets at
 ///   most `τ + 1` alerts accepted.
-/// - `tau_prime` (τ′): revocation threshold — a target is revoked when its
-///   alert counter "exceeds" τ′, i.e. on its `τ′ + 1`-th accepted alert.
+/// - `tau_prime` (τ′): revocation threshold — a target is revoked when the
+///   number of **distinct** reporters accusing it "exceeds" τ′, i.e. when
+///   its `τ′ + 1`-th distinct accuser is heard. Repeats of an accusation
+///   the base station has already accepted are discarded, so a single
+///   reporter can never drive a target's alert counter past τ′ alone; the
+///   per-reporter damage cap the scheme is built around holds per target
+///   as well as in aggregate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RevocationConfig {
     /// Per-reporter report cap τ.
@@ -41,6 +46,10 @@ pub enum AlertOutcome {
     IgnoredReporterBudget,
     /// Ignored: the target is already revoked.
     IgnoredTargetRevoked,
+    /// Ignored: this (reporter, target) accusation was already accepted.
+    /// Duplicates count toward neither the target's alert counter nor the
+    /// reporter's budget.
+    IgnoredDuplicate,
 }
 
 impl AlertOutcome {
@@ -62,6 +71,26 @@ impl AlertOutcome {
 /// having these benign beacon nodes revoked before they can report any
 /// alert."
 ///
+/// Two semantic points in the §3.1 scheme, audited against the paper text:
+///
+/// - **Distinct accusers.** The alert counter tracks *distinct*
+///   `(reporter, target)` accusations; a reporter repeating an accusation
+///   the station already accepted is [`AlertOutcome::IgnoredDuplicate`]
+///   and consumes no budget. §3.2's damage analysis is built on each
+///   colluder contributing at most one unit of evidence per victim
+///   (`N_a (τ+1) / (τ′+1)` victims total): if repeats counted, a single
+///   malicious reporter with budget `τ + 1 ≥ τ′ + 1` (true at the paper's
+///   `(2, 2)` operating point) could revoke any benign beacon alone and
+///   the bound would collapse to revoking `τ + 1` ≈ everything it aims at.
+///   The distributed scheme (`secloc-sim`'s `distributed` module) already
+///   counted distinct accusers; the base station now matches it.
+/// - **Revoked reporters are still heard.** The budget check comes first
+///   and nothing else filters the reporter, exactly as the paper orders
+///   it: revoking a detector must not silence it, or colluders would spend
+///   a quorum revoking each benign detector *first* and then poison
+///   sensors unaccused. The τ cap already bounds what a revoked (hence
+///   suspect) reporter can do with that freedom.
+///
 /// # Examples
 ///
 /// ```
@@ -79,6 +108,7 @@ pub struct BaseStation {
     config: RevocationConfig,
     report_counters: HashMap<NodeId, u32>,
     alert_counters: HashMap<NodeId, u32>,
+    accusations: HashSet<(NodeId, NodeId)>,
     revoked: HashSet<NodeId>,
     accepted_log: Vec<Alert>,
 }
@@ -90,6 +120,7 @@ impl BaseStation {
             config,
             report_counters: HashMap::new(),
             alert_counters: HashMap::new(),
+            accusations: HashSet::new(),
             revoked: HashSet::new(),
             accepted_log: Vec::new(),
         }
@@ -103,13 +134,19 @@ impl BaseStation {
     /// Processes one (already authenticated) alert, exactly per §3.1.
     pub fn process(&mut self, alert: Alert) -> AlertOutcome {
         // Order of checks follows the paper: report budget first, then
-        // target-revoked; a revoked *reporter* is still heard.
+        // target-revoked; a revoked *reporter* is still heard (see the
+        // struct docs for the audit of both points). Only then is the
+        // duplicate filter consulted, so an over-budget reporter repeating
+        // itself reads as budget exhaustion, not as a duplicate.
         let report_counter = self.report_counters.entry(alert.reporter).or_insert(0);
         if *report_counter > self.config.tau {
             return AlertOutcome::IgnoredReporterBudget;
         }
         if self.revoked.contains(&alert.target) {
             return AlertOutcome::IgnoredTargetRevoked;
+        }
+        if !self.accusations.insert((alert.reporter, alert.target)) {
+            return AlertOutcome::IgnoredDuplicate;
         }
         *report_counter += 1;
         let alert_counter = self.alert_counters.entry(alert.target).or_insert(0);
@@ -140,9 +177,16 @@ impl BaseStation {
         v
     }
 
-    /// Current alert counter (suspiciousness) of `node`.
+    /// Current alert counter of `node`: how many *distinct* reporters have
+    /// had an accusation against it accepted.
     pub fn suspiciousness(&self, node: NodeId) -> u32 {
         self.alert_counters.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Whether the station has already accepted an accusation by
+    /// `reporter` against `target`.
+    pub fn has_accused(&self, reporter: NodeId, target: NodeId) -> bool {
+        self.accusations.contains(&(reporter, target))
     }
 
     /// Accepted alerts submitted by `node` so far.
@@ -245,8 +289,10 @@ mod tests {
     }
 
     /// Minimal local copy of the collusion stream so this crate's tests
-    /// don't depend on `secloc-attack` (which depends on us... not, but
-    /// keeping the dependency graph acyclic and lean).
+    /// don't depend on `secloc-attack` (keeping the dependency graph
+    /// acyclic and lean). Mirrors the distinct-quorum strategy: every
+    /// victim is accused by `τ′ + 1` *different* colluders, each spending
+    /// one unit of its `τ + 1` budget.
     mod secloc_attack_stub {
         use super::*;
         pub fn alerts(
@@ -255,20 +301,19 @@ mod tests {
             tau: u32,
             tau_prime: u32,
         ) -> Vec<Alert> {
+            let quorum = (tau_prime + 1) as usize;
+            let mut budget = vec![tau + 1; colluders.len()];
             let mut out = Vec::new();
-            let mut vi = 0usize;
-            let mut shots = 0u32;
-            for &c in colluders {
-                for _ in 0..=tau {
-                    if vi >= victims.len() {
-                        return out;
-                    }
-                    out.push(Alert::new(c, victims[vi]));
-                    shots += 1;
-                    if shots > tau_prime {
-                        shots = 0;
-                        vi += 1;
-                    }
+            for &victim in victims {
+                let mut with_budget: Vec<usize> =
+                    (0..colluders.len()).filter(|&i| budget[i] > 0).collect();
+                if with_budget.len() < quorum {
+                    break;
+                }
+                with_budget.sort_by(|&a, &b| budget[b].cmp(&budget[a]));
+                for &i in with_budget.iter().take(quorum) {
+                    out.push(Alert::new(colluders[i], victim));
+                    budget[i] -= 1;
                 }
             }
             out
@@ -307,16 +352,82 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_alerts_from_same_reporter_count_twice() {
-        // The paper does not deduplicate (reporter, target) pairs; each
-        // detecting ID probe can yield an alert. Budget still caps abuse.
-        let mut bs = BaseStation::new(RevocationConfig {
-            tau: 5,
-            tau_prime: 2,
-        });
-        bs.process(alert(1, 9));
-        bs.process(alert(1, 9));
-        bs.process(alert(1, 9));
+    fn single_reporter_spam_cannot_revoke() {
+        // Regression: with the paper's (τ, τ′) = (2, 2) a lone malicious
+        // reporter used to revoke any benign beacon by repeating itself
+        // three times. Repeats are now IgnoredDuplicate and count nowhere.
+        let mut bs = BaseStation::new(RevocationConfig::paper_default());
+        assert_eq!(bs.process(alert(1, 9)), AlertOutcome::Accepted);
+        for _ in 0..10 {
+            assert_eq!(bs.process(alert(1, 9)), AlertOutcome::IgnoredDuplicate);
+        }
+        assert!(!bs.is_revoked(NodeId(9)), "one accuser is never a quorum");
+        assert_eq!(bs.suspiciousness(NodeId(9)), 1);
+        assert_eq!(bs.accepted_alerts(), &[alert(1, 9)]);
+    }
+
+    #[test]
+    fn tau_prime_plus_one_distinct_reporters_still_revoke() {
+        // Regression counterpart: τ′ + 1 = 3 distinct accusers do revoke.
+        let mut bs = BaseStation::new(RevocationConfig::paper_default());
+        assert_eq!(bs.process(alert(1, 9)), AlertOutcome::Accepted);
+        assert_eq!(bs.process(alert(2, 9)), AlertOutcome::Accepted);
+        assert!(!bs.is_revoked(NodeId(9)));
+        assert_eq!(bs.process(alert(3, 9)), AlertOutcome::AcceptedAndRevoked);
         assert!(bs.is_revoked(NodeId(9)));
+    }
+
+    #[test]
+    fn duplicates_consume_no_report_budget() {
+        let mut bs = BaseStation::new(RevocationConfig {
+            tau: 2,
+            tau_prime: 100,
+        });
+        bs.process(alert(1, 10));
+        for _ in 0..5 {
+            assert_eq!(bs.process(alert(1, 10)), AlertOutcome::IgnoredDuplicate);
+        }
+        assert_eq!(bs.reports_spent(NodeId(1)), 1);
+        assert!(bs.has_accused(NodeId(1), NodeId(10)));
+        // The saved budget still buys distinct accusations.
+        assert!(bs.process(alert(1, 11)).accepted());
+        assert!(bs.process(alert(1, 12)).accepted());
+        assert_eq!(bs.reports_spent(NodeId(1)), 3);
+    }
+
+    #[test]
+    fn over_budget_repeat_reads_as_budget_not_duplicate() {
+        // Check ordering: the §3.1 budget gate fires before the duplicate
+        // filter, so an exhausted reporter's repeat is budget exhaustion.
+        let mut bs = BaseStation::new(RevocationConfig {
+            tau: 0,
+            tau_prime: 100,
+        });
+        assert!(bs.process(alert(1, 10)).accepted()); // spends the whole budget
+        assert_eq!(
+            bs.process(alert(1, 10)),
+            AlertOutcome::IgnoredReporterBudget
+        );
+    }
+
+    #[test]
+    fn revoking_a_detector_does_not_silence_it() {
+        // §3.1 ordering audit: colluders who spend a quorum revoking a
+        // benign detector FIRST must not thereby silence it — the paper
+        // keeps accepting alerts from revoked reporters precisely so this
+        // pre-emptive strike buys the attacker nothing.
+        let mut bs = BaseStation::new(RevocationConfig::paper_default());
+        // Colluders 100..103 revoke benign detector 7.
+        assert_eq!(bs.process(alert(100, 7)), AlertOutcome::Accepted);
+        assert_eq!(bs.process(alert(101, 7)), AlertOutcome::Accepted);
+        assert_eq!(bs.process(alert(102, 7)), AlertOutcome::AcceptedAndRevoked);
+        assert!(bs.is_revoked(NodeId(7)));
+        // Detector 7's accusation against malicious beacon 50 still counts
+        // toward the quorum exactly like anyone else's.
+        assert_eq!(bs.process(alert(7, 50)), AlertOutcome::Accepted);
+        assert_eq!(bs.process(alert(8, 50)), AlertOutcome::Accepted);
+        assert_eq!(bs.process(alert(9, 50)), AlertOutcome::AcceptedAndRevoked);
+        assert!(bs.is_revoked(NodeId(50)));
+        assert_eq!(bs.suspiciousness(NodeId(50)), 3);
     }
 }

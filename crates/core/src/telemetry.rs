@@ -90,13 +90,15 @@ impl PipelineMetrics {
 /// Counters for the base station's §3.1 alert decisions.
 ///
 /// Names: `bs.alert.{accepted,accepted_and_revoked,ignored_reporter_budget,
-/// ignored_target_revoked}`, plus gauge `bs.revoked_nodes`.
+/// ignored_target_revoked,ignored_duplicate}`, plus gauge
+/// `bs.revoked_nodes`.
 #[derive(Debug, Clone)]
 pub struct AlertMetrics {
     accepted: Counter,
     accepted_and_revoked: Counter,
     ignored_reporter_budget: Counter,
     ignored_target_revoked: Counter,
+    ignored_duplicate: Counter,
     revoked_nodes: Gauge,
 }
 
@@ -108,6 +110,7 @@ impl AlertMetrics {
             accepted_and_revoked: registry.counter("bs.alert.accepted_and_revoked"),
             ignored_reporter_budget: registry.counter("bs.alert.ignored_reporter_budget"),
             ignored_target_revoked: registry.counter("bs.alert.ignored_target_revoked"),
+            ignored_duplicate: registry.counter("bs.alert.ignored_duplicate"),
             revoked_nodes: registry.gauge("bs.revoked_nodes"),
         }
     }
@@ -123,6 +126,7 @@ impl AlertMetrics {
             }
             AlertOutcome::IgnoredReporterBudget => self.ignored_reporter_budget.incr(),
             AlertOutcome::IgnoredTargetRevoked => self.ignored_target_revoked.incr(),
+            AlertOutcome::IgnoredDuplicate => self.ignored_duplicate.incr(),
         }
     }
 }
@@ -174,11 +178,14 @@ mod tests {
         m.record(AlertOutcome::AcceptedAndRevoked);
         m.record(AlertOutcome::IgnoredReporterBudget);
         m.record(AlertOutcome::IgnoredTargetRevoked);
+        m.record(AlertOutcome::IgnoredDuplicate);
+        m.record(AlertOutcome::IgnoredDuplicate);
         let s = registry.snapshot();
         assert_eq!(s.counter("bs.alert.accepted"), Some(1));
         assert_eq!(s.counter("bs.alert.accepted_and_revoked"), Some(2));
         assert_eq!(s.counter("bs.alert.ignored_reporter_budget"), Some(1));
         assert_eq!(s.counter("bs.alert.ignored_target_revoked"), Some(1));
+        assert_eq!(s.counter("bs.alert.ignored_duplicate"), Some(2));
         assert_eq!(s.gauge("bs.revoked_nodes"), Some(2));
     }
 }

@@ -43,6 +43,7 @@ mod deploy;
 pub mod distributed;
 mod experiment;
 mod metrics;
+pub mod orchestrator;
 mod probe;
 pub mod report;
 mod runner;
@@ -53,6 +54,7 @@ pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use deploy::{Deployment, NodeKind};
 pub use experiment::Experiment;
 pub use metrics::{average_outcomes, AggregateOutcome, SimOutcome};
+pub use orchestrator::{Orchestrator, SweepCell, SweepReport, SweepSpec};
 pub use probe::{ProbeContext, ProbeFaults, ProbeResult};
 pub use report::RunReport;
 pub use runner::{RunOptions, RunOutput, Runner};

@@ -1,0 +1,827 @@
+//! Deterministic sweep orchestration: grids of `(SimConfig × seed)` cells
+//! over a worker pool, with a content-addressed result cache and a
+//! resumable JSONL checkpoint stream.
+//!
+//! The paper's §4 evaluation is a large grid of independent seeded runs,
+//! and every figure-bench in this workspace re-runs overlapping slices of
+//! that grid. This module turns "fan seeds over threads" into a real
+//! experiment engine:
+//!
+//! - **Deterministic sharding** — cells are split into contiguous chunks
+//!   over at most `min(workers, pending cells)` OS threads; results come
+//!   back in cell order and are bit-identical to a serial loop, because
+//!   each cell is a pure function of `(config, seed)`.
+//! - **Content-addressed caching** — every cell is keyed by a stable
+//!   64-bit FNV-1a hash of its canonical `(config, seed, options, code
+//!   version)` encoding ([`cell_key`]). A [`ResultCache`] maps keys to
+//!   outcomes, optionally persisted as JSONL, so repeated or overlapping
+//!   sweeps skip completed cells entirely.
+//! - **Checkpoint / resume** — with a checkpoint path configured, the
+//!   orchestrator streams one JSONL line per cell *in cell order* as the
+//!   completion frontier advances (via [`secloc_obs::output`] writers'
+//!   conventions). [`Orchestrator::run`] on an existing (possibly
+//!   truncated mid-line) checkpoint replays the recorded prefix and
+//!   re-runs only the remainder; the resulting outcomes **and** the
+//!   rewritten checkpoint file are byte-identical to an uninterrupted
+//!   run. See `DESIGN.md` §11 for the invariants.
+//!
+//! ```no_run
+//! use secloc_sim::orchestrator::{Orchestrator, SweepSpec};
+//! use secloc_sim::SimConfig;
+//!
+//! let spec = SweepSpec::single(&SimConfig::paper_default(), &[1, 2, 3]);
+//! let report = Orchestrator::new()
+//!     .workers(4)
+//!     .cache("results/sweep-cache.jsonl")
+//!     .checkpoint("results/sweep-checkpoint.jsonl")
+//!     .run(&spec)
+//!     .expect("sweep I/O");
+//! assert_eq!(report.outcomes.len(), 3);
+//! ```
+
+use crate::{RunOptions, Runner, SimConfig, SimOutcome};
+use secloc_obs::Obs;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+
+/// Bumped whenever a code change alters simulation outcomes for an
+/// unchanged `(config, seed)` — cache and checkpoint entries keyed under
+/// the old tag then miss (and stale checkpoints are rejected) instead of
+/// resurfacing outdated numbers.
+///
+/// History: 1 = pre-distinct-accuser revocation semantics; 2 = the base
+/// station counts only distinct `(reporter, target)` accusations toward
+/// τ′ and colluders use the quorum strategy.
+const OUTCOME_REVISION: u32 = 2;
+
+/// The code-version component of every cell key.
+pub fn code_version_tag() -> String {
+    format!(
+        "secloc-sim-{}+r{}",
+        env!("CARGO_PKG_VERSION"),
+        OUTCOME_REVISION
+    )
+}
+
+/// A stable 64-bit content address for one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey(pub u64);
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl CellKey {
+    /// Parses the 16-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<CellKey> {
+        (s.len() == 16)
+            .then(|| u64::from_str_radix(s, 16).ok())
+            .flatten()
+            .map(CellKey)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — stable across platforms and releases,
+/// unlike `std::hash`'s unspecified `SipHash` keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical encoding hashed into a cell key. `SimConfig` is plain
+/// data whose derived `Debug` output is deterministic; the options tag
+/// records how the cell is run (always the plain optimized path — traces
+/// and telemetry provably do not change outcomes, see
+/// `tests/equivalence.rs` and `tests/obs_events.rs`).
+fn canonical_cell(config: &SimConfig, seed: u64, tag: &str) -> String {
+    format!("{config:?};seed={seed};options=plain;tag={tag}")
+}
+
+/// Stable content address of one `(config, seed)` cell under code-version
+/// `tag` (normally [`code_version_tag`]).
+pub fn cell_key(config: &SimConfig, seed: u64, tag: &str) -> CellKey {
+    CellKey(fnv1a(canonical_cell(config, seed, tag).as_bytes()))
+}
+
+/// One grid cell: a full configuration plus the seed that drives it.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The deployment/protocol configuration.
+    pub config: SimConfig,
+    /// The seed for every RNG stream of the run.
+    pub seed: u64,
+}
+
+/// An ordered list of sweep cells. Order is part of the contract: results,
+/// checkpoint lines and cache appends all follow it.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    cells: Vec<SweepCell>,
+}
+
+impl SweepSpec {
+    /// A spec over explicit cells.
+    pub fn new(cells: Vec<SweepCell>) -> Self {
+        SweepSpec { cells }
+    }
+
+    /// One config fanned over seeds (the classic `run_seeds` shape).
+    pub fn single(config: &SimConfig, seeds: &[u64]) -> Self {
+        SweepSpec {
+            cells: seeds
+                .iter()
+                .map(|&seed| SweepCell {
+                    config: config.clone(),
+                    seed,
+                })
+                .collect(),
+        }
+    }
+
+    /// The full product grid, config-major: all seeds of `configs[0]`,
+    /// then all seeds of `configs[1]`, …
+    pub fn product(configs: &[SimConfig], seeds: &[u64]) -> Self {
+        let mut cells = Vec::with_capacity(configs.len() * seeds.len());
+        for config in configs {
+            for &seed in seeds {
+                cells.push(SweepCell {
+                    config: config.clone(),
+                    seed,
+                });
+            }
+        }
+        SweepSpec { cells }
+    }
+
+    /// The cells, in sweep order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// A stable identity for the whole grid under `tag`: the hash of all
+    /// cell keys in order. Checkpoints carry it so a resume against a
+    /// different grid (or code version) is rejected instead of silently
+    /// splicing unrelated results.
+    pub fn grid_key(&self, tag: &str) -> CellKey {
+        let mut joined = String::with_capacity(self.cells.len() * 17);
+        for cell in &self.cells {
+            use std::fmt::Write as _;
+            let _ = write!(joined, "{};", cell_key(&cell.config, cell.seed, tag));
+        }
+        CellKey(fnv1a(joined.as_bytes()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome serialization (hand-rolled, like the rest of the workspace: the
+// build environment is offline, so no serde).
+// ---------------------------------------------------------------------------
+
+fn push_f64(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if v.is_finite() {
+        // Rust's float Display prints the shortest string that parses back
+        // to the same bits, so encode → decode is lossless.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+/// Fixed-field-order JSON object for one [`SimOutcome`]; the byte-identity
+/// guarantees of the checkpoint stream rest on this order never varying at
+/// runtime.
+fn encode_outcome(o: &SimOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "{{\"malicious_total\":{},\"benign_total\":{},\"revoked_malicious\":{},\
+         \"revoked_benign\":{},\"affected_before\":",
+        o.malicious_total, o.benign_total, o.revoked_malicious, o.revoked_benign
+    );
+    push_f64(&mut s, o.affected_before);
+    s.push_str(",\"affected_after\":");
+    push_f64(&mut s, o.affected_after);
+    let _ = write!(
+        s,
+        ",\"benign_alerts\":{},\"collusion_alerts\":{},\"mean_requesters_per_beacon\":",
+        o.benign_alerts, o.collusion_alerts
+    );
+    push_f64(&mut s, o.mean_requesters_per_beacon);
+    s.push_str(",\"mean_loc_error_before_ft\":");
+    push_opt_f64(&mut s, o.mean_loc_error_before_ft);
+    s.push_str(",\"mean_loc_error_after_ft\":");
+    push_opt_f64(&mut s, o.mean_loc_error_after_ft);
+    s.push('}');
+    s
+}
+
+/// Extracts the raw text of field `name` from a *flat* JSON object (no
+/// nested objects or escaped strings — all we ever write).
+fn raw_field<'a>(obj: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn num_field<T: std::str::FromStr>(obj: &str, name: &str) -> Option<T> {
+    raw_field(obj, name)?.parse().ok()
+}
+
+fn opt_f64_field(obj: &str, name: &str) -> Option<Option<f64>> {
+    let raw = raw_field(obj, name)?;
+    if raw == "null" {
+        Some(None)
+    } else {
+        raw.parse().ok().map(Some)
+    }
+}
+
+fn str_field<'a>(obj: &'a str, name: &str) -> Option<&'a str> {
+    raw_field(obj, name)?
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+}
+
+fn decode_outcome(obj: &str) -> Option<SimOutcome> {
+    Some(SimOutcome {
+        malicious_total: num_field(obj, "malicious_total")?,
+        benign_total: num_field(obj, "benign_total")?,
+        revoked_malicious: num_field(obj, "revoked_malicious")?,
+        revoked_benign: num_field(obj, "revoked_benign")?,
+        affected_before: num_field(obj, "affected_before")?,
+        affected_after: num_field(obj, "affected_after")?,
+        benign_alerts: num_field(obj, "benign_alerts")?,
+        collusion_alerts: num_field(obj, "collusion_alerts")?,
+        mean_requesters_per_beacon: num_field(obj, "mean_requesters_per_beacon")?,
+        mean_loc_error_before_ft: opt_f64_field(obj, "mean_loc_error_before_ft")?,
+        mean_loc_error_after_ft: opt_f64_field(obj, "mean_loc_error_after_ft")?,
+    })
+}
+
+/// The `{...}` of the `"outcome"` field inside a checkpoint or cache line.
+/// The outcome object is flat, so its first `}` closes it.
+fn outcome_object(line: &str) -> Option<&str> {
+    let start = line.find("\"outcome\":")? + "\"outcome\":".len();
+    let rest = &line[start..];
+    rest.starts_with('{')
+        .then(|| rest.find('}').map(|end| &rest[..=end]))
+        .flatten()
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// A content-addressed map from [`CellKey`] to [`SimOutcome`], optionally
+/// persisted as an append-only JSONL file (one `{"key":…,"outcome":…}`
+/// object per line). A truncated final line — a crash mid-append — is
+/// ignored on load and overwritten by the next append.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<u64, SimOutcome>,
+    file: Option<fs::File>,
+}
+
+impl ResultCache {
+    /// A cache that lives and dies with the process.
+    pub fn in_memory() -> Self {
+        ResultCache::default()
+    }
+
+    /// Opens (or creates) the JSONL cache at `path`, loading every valid
+    /// entry. Parent directories are created as needed.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut entries = HashMap::new();
+        if path.exists() {
+            let text = fs::read_to_string(path)?;
+            for line in text.lines() {
+                let (Some(key), Some(outcome)) = (
+                    str_field(line, "key").and_then(CellKey::parse),
+                    outcome_object(line).and_then(decode_outcome),
+                ) else {
+                    continue; // tolerate a crash-truncated tail
+                };
+                entries.insert(key.0, outcome);
+            }
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(ResultCache {
+            entries,
+            file: Some(file),
+        })
+    }
+
+    /// Entries currently loaded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached outcome under `key`, if any.
+    pub fn get(&self, key: CellKey) -> Option<&SimOutcome> {
+        self.entries.get(&key.0)
+    }
+
+    /// Records `outcome` under `key`; persisted caches append one line.
+    /// Re-inserting an existing key is a no-op (outcomes are pure
+    /// functions of their key).
+    pub fn insert(&mut self, key: CellKey, outcome: SimOutcome) -> io::Result<()> {
+        if self.entries.contains_key(&key.0) {
+            return Ok(());
+        }
+        if let Some(file) = &mut self.file {
+            writeln!(
+                file,
+                "{{\"key\":\"{key}\",\"outcome\":{}}}",
+                encode_outcome(&outcome)
+            )?;
+        }
+        self.entries.insert(key.0, outcome);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint stream
+// ---------------------------------------------------------------------------
+
+const CHECKPOINT_VERSION: u32 = 1;
+
+fn header_line(spec: &SweepSpec, tag: &str) -> String {
+    format!(
+        "{{\"kind\":\"sweep\",\"version\":{CHECKPOINT_VERSION},\"cells\":{},\"grid\":\"{}\",\"tag\":\"{tag}\"}}",
+        spec.len(),
+        spec.grid_key(tag)
+    )
+}
+
+fn cell_line(index: usize, key: CellKey, seed: u64, outcome: &SimOutcome) -> String {
+    format!(
+        "{{\"kind\":\"cell\",\"index\":{index},\"key\":\"{key}\",\"seed\":{seed},\"outcome\":{}}}",
+        encode_outcome(outcome)
+    )
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Parses an existing checkpoint into the completed prefix of outcomes.
+/// Returns `Ok(vec![])` for an empty/absent file. Fails when the header
+/// does not match this sweep (different grid, cell count or code tag) or a
+/// recorded key contradicts the expected cell — a resume must never splice
+/// foreign results.
+fn load_checkpoint_prefix(
+    path: &Path,
+    spec: &SweepSpec,
+    keys: &[CellKey],
+    tag: &str,
+) -> io::Result<Vec<SimOutcome>> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else {
+        return Ok(Vec::new());
+    };
+    // A file cut inside the header is treated as no progress at all.
+    if str_field(header, "kind") != Some("sweep") || !text.contains('\n') {
+        return Ok(Vec::new());
+    }
+    if num_field::<u32>(header, "version") != Some(CHECKPOINT_VERSION) {
+        return Err(bad_data(format!(
+            "checkpoint {} has an unsupported version",
+            path.display()
+        )));
+    }
+    let cells: Option<usize> = num_field(header, "cells");
+    let grid = str_field(header, "grid").and_then(CellKey::parse);
+    let header_tag = str_field(header, "tag");
+    if cells != Some(spec.len()) || grid != Some(spec.grid_key(tag)) || header_tag != Some(tag) {
+        return Err(bad_data(format!(
+            "checkpoint {} does not match this sweep (grid/tag/cell-count \
+             differ); delete it or point the sweep elsewhere",
+            path.display()
+        )));
+    }
+    let mut prefix: Vec<SimOutcome> = Vec::new();
+    for line in lines {
+        let index: Option<usize> = num_field(line, "index");
+        let key = str_field(line, "key").and_then(CellKey::parse);
+        let outcome = outcome_object(line).and_then(decode_outcome);
+        let (Some(index), Some(key), Some(outcome)) = (index, key, outcome) else {
+            break; // crash-truncated tail: everything before it stands
+        };
+        if index != prefix.len() {
+            return Err(bad_data(format!(
+                "checkpoint {} is out of order at index {index}",
+                path.display()
+            )));
+        }
+        if index >= keys.len() || key != keys[index] {
+            return Err(bad_data(format!(
+                "checkpoint {} records a different cell at index {index} \
+                 (stale code version or edited grid)",
+                path.display()
+            )));
+        }
+        prefix.push(outcome);
+    }
+    Ok(prefix)
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator
+// ---------------------------------------------------------------------------
+
+/// What one sweep did, beyond the outcomes themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-cell outcomes, in sweep order.
+    pub outcomes: Vec<SimOutcome>,
+    /// Cells replayed from an existing checkpoint.
+    pub resumed: usize,
+    /// Cells served by the result cache.
+    pub cache_hits: usize,
+    /// Cells actually simulated this run.
+    pub executed: usize,
+    /// Worker threads spawned (0 when nothing needed simulating).
+    pub workers_spawned: usize,
+}
+
+/// The sweep engine. Configure with the builder methods, then [`run`]
+/// (`Orchestrator::run`) any number of [`SweepSpec`]s.
+#[derive(Debug, Default)]
+pub struct Orchestrator {
+    workers: usize,
+    cache_path: Option<PathBuf>,
+    checkpoint_path: Option<PathBuf>,
+    obs: Obs,
+    tag: Option<String>,
+}
+
+impl Orchestrator {
+    /// An orchestrator with automatic parallelism, no cache and no
+    /// checkpoint.
+    pub fn new() -> Self {
+        Orchestrator::default()
+    }
+
+    /// Caps the worker pool at `n` threads (0 = one per available core).
+    /// The pool is additionally capped at the number of cells that
+    /// actually need simulating, so small or mostly-cached sweeps never
+    /// spawn idle threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Persists the result cache at `path` (JSONL, see [`ResultCache`]).
+    pub fn cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Streams the checkpoint to `path`; an existing file there is resumed
+    /// from (and rewritten byte-identically) rather than discarded.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Reports progress on `obs`: counters `sweep.cells_{total,resumed,
+    /// cached,executed,done}` and gauge `sweep.workers`, plus `sweep.start`
+    /// / `sweep.end` events. Telemetry never touches the cells' RNG
+    /// streams, so observed and unobserved sweeps are bit-identical.
+    pub fn observed(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Overrides the code-version tag (tests use this to simulate a code
+    /// change invalidating a cache).
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    fn effective_tag(&self) -> String {
+        self.tag.clone().unwrap_or_else(code_version_tag)
+    }
+
+    /// Runs (or resumes) the sweep and returns per-cell outcomes in sweep
+    /// order. Identical spec + tag always yield identical outcomes and an
+    /// identical checkpoint file, whatever mix of fresh runs, cache hits
+    /// and resumed cells produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a cell's simulation panicked).
+    pub fn run(&self, spec: &SweepSpec) -> io::Result<SweepReport> {
+        let tag = self.effective_tag();
+        let keys: Vec<CellKey> = spec
+            .cells()
+            .iter()
+            .map(|c| cell_key(&c.config, c.seed, &tag))
+            .collect();
+        let span = self.obs.span("sweep.run");
+        self.obs.add("sweep.cells_total", spec.len() as u64);
+        self.obs.emit(
+            "sweep.start",
+            &[
+                ("cells", secloc_obs::Value::U64(spec.len() as u64)),
+                ("tag", secloc_obs::Value::Str(tag.clone())),
+            ],
+        );
+
+        // 1. Replay the checkpoint prefix, if any.
+        let prefix = match &self.checkpoint_path {
+            Some(path) => load_checkpoint_prefix(path, spec, &keys, &tag)?,
+            None => Vec::new(),
+        };
+        let resumed = prefix.len();
+        self.obs.add("sweep.cells_resumed", resumed as u64);
+
+        // 2. Consult the cache for everything past the prefix.
+        let mut cache = match &self.cache_path {
+            Some(path) => ResultCache::open(path)?,
+            None => ResultCache::in_memory(),
+        };
+        let mut results: Vec<Option<SimOutcome>> = vec![None; spec.len()];
+        for (slot, outcome) in results.iter_mut().zip(prefix) {
+            *slot = Some(outcome);
+        }
+        let mut cache_hits = 0usize;
+        let mut pending: Vec<usize> = Vec::new();
+        for i in resumed..spec.len() {
+            if let Some(hit) = cache.get(keys[i]) {
+                results[i] = Some(hit.clone());
+                cache_hits += 1;
+            } else {
+                pending.push(i);
+            }
+        }
+        self.obs.add("sweep.cells_cached", cache_hits as u64);
+        self.obs.add("sweep.cells_executed", pending.len() as u64);
+
+        // 3. Shard the pending cells over the worker pool. Contiguous
+        //    chunks, never more workers than pending cells.
+        let requested = if self.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        let workers = requested.min(pending.len());
+        self.obs.set_gauge("sweep.workers", workers as i64);
+
+        // 4. Stream results: workers push (cell index, outcome); the main
+        //    thread advances the completion frontier in cell order,
+        //    writing the checkpoint as a growing prefix so the file is a
+        //    valid resume point at every instant.
+        let mut checkpoint_file = match &self.checkpoint_path {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        fs::create_dir_all(parent)?;
+                    }
+                }
+                let mut file = fs::File::create(path)?;
+                writeln!(file, "{}", header_line(spec, &tag))?;
+                Some(file)
+            }
+            None => None,
+        };
+        let mut frontier = 0usize; // next cell whose line is unwritten
+        let mut flush_frontier = |results: &[Option<SimOutcome>],
+                                  frontier: &mut usize,
+                                  cache: &mut ResultCache,
+                                  obs: &Obs|
+         -> io::Result<()> {
+            while *frontier < results.len() {
+                let Some(outcome) = &results[*frontier] else {
+                    break;
+                };
+                if let Some(file) = &mut checkpoint_file {
+                    writeln!(
+                        file,
+                        "{}",
+                        cell_line(
+                            *frontier,
+                            keys[*frontier],
+                            spec.cells()[*frontier].seed,
+                            outcome
+                        )
+                    )?;
+                    file.flush()?;
+                }
+                cache.insert(keys[*frontier], outcome.clone())?;
+                obs.incr("sweep.cells_done");
+                *frontier += 1;
+            }
+            Ok(())
+        };
+        // Everything known up front (resumed + cached) checkpoints first.
+        flush_frontier(&results, &mut frontier, &mut cache, &self.obs)?;
+
+        if !pending.is_empty() {
+            let (tx, rx) = mpsc::channel::<(usize, SimOutcome)>();
+            let expected = pending.len();
+            let mut io_result: io::Result<()> = Ok(());
+            thread::scope(|scope| {
+                let base = pending.len() / workers;
+                let extra = pending.len() % workers;
+                let mut offset = 0usize;
+                for w in 0..workers {
+                    let take = base + usize::from(w < extra);
+                    let chunk = &pending[offset..offset + take];
+                    offset += take;
+                    let tx = tx.clone();
+                    let cells = spec.cells();
+                    scope.spawn(move || {
+                        for &i in chunk {
+                            let outcome = Runner::new(cells[i].config.clone(), cells[i].seed)
+                                .run(RunOptions::new())
+                                .outcome;
+                            if tx.send((i, outcome)).is_err() {
+                                return; // receiver bailed on an I/O error
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                for _ in 0..expected {
+                    let Ok((i, outcome)) = rx.recv() else {
+                        break; // a worker panicked; scope join re-raises it
+                    };
+                    results[i] = Some(outcome);
+                    io_result = flush_frontier(&results, &mut frontier, &mut cache, &self.obs);
+                    if io_result.is_err() {
+                        break;
+                    }
+                }
+            });
+            io_result?;
+        }
+
+        let outcomes: Vec<SimOutcome> = results
+            .into_iter()
+            .map(|o| o.expect("every cell resolved"))
+            .collect();
+        self.obs.emit(
+            "sweep.end",
+            &[
+                ("resumed", secloc_obs::Value::U64(resumed as u64)),
+                ("cached", secloc_obs::Value::U64(cache_hits as u64)),
+                ("executed", secloc_obs::Value::U64(pending.len() as u64)),
+            ],
+        );
+        span.finish();
+        self.obs.flush();
+        Ok(SweepReport {
+            outcomes,
+            resumed,
+            cache_hits,
+            executed: pending.len(),
+            workers_spawned: workers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimConfig {
+        SimConfig {
+            nodes: 120,
+            beacons: 12,
+            malicious: 3,
+            attacker_p: 0.5,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn cell_keys_are_stable_and_sensitive() {
+        let a = cell_key(&tiny(), 1, "t");
+        assert_eq!(a, cell_key(&tiny(), 1, "t"), "same inputs, same key");
+        assert_ne!(a, cell_key(&tiny(), 2, "t"), "seed changes the key");
+        assert_ne!(a, cell_key(&tiny(), 1, "u"), "tag changes the key");
+        let mut other = tiny();
+        other.attacker_p = 0.6;
+        assert_ne!(a, cell_key(&other, 1, "t"), "config changes the key");
+        // Round-trips through the display form.
+        assert_eq!(CellKey::parse(&a.to_string()), Some(a));
+        assert_eq!(CellKey::parse("xyz"), None);
+    }
+
+    #[test]
+    fn outcome_encoding_round_trips_bit_identically() {
+        let outcome = Runner::new(tiny(), 3).run(RunOptions::new()).outcome;
+        let decoded = decode_outcome(&encode_outcome(&outcome)).expect("decodes");
+        assert_eq!(decoded, outcome);
+        // And an awkward hand-built one, exercising null/fractional paths.
+        let awkward = SimOutcome {
+            malicious_total: 0,
+            benign_total: 1,
+            revoked_malicious: 0,
+            revoked_benign: 0,
+            affected_before: 0.1 + 0.2, // not exactly representable
+            affected_after: f64::MIN_POSITIVE,
+            benign_alerts: usize::MAX,
+            collusion_alerts: 0,
+            mean_requesters_per_beacon: 1.0 / 3.0,
+            mean_loc_error_before_ft: None,
+            mean_loc_error_after_ft: Some(1e-300),
+        };
+        assert_eq!(decode_outcome(&encode_outcome(&awkward)), Some(awkward));
+    }
+
+    #[test]
+    fn grid_key_depends_on_order_and_content() {
+        let seeds = [1u64, 2, 3];
+        let spec = SweepSpec::single(&tiny(), &seeds);
+        assert_eq!(
+            spec.grid_key("t"),
+            SweepSpec::single(&tiny(), &seeds).grid_key("t")
+        );
+        assert_ne!(
+            spec.grid_key("t"),
+            SweepSpec::single(&tiny(), &[3, 2, 1]).grid_key("t")
+        );
+    }
+
+    #[test]
+    fn plain_run_matches_runner_loop() {
+        let seeds: Vec<u64> = (0..5).collect();
+        let spec = SweepSpec::single(&tiny(), &seeds);
+        let report = Orchestrator::new().workers(3).run(&spec).unwrap();
+        assert_eq!(report.executed, 5);
+        assert_eq!(report.resumed + report.cache_hits, 0);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let direct = Runner::new(tiny(), seed).run(RunOptions::new()).outcome;
+            assert_eq!(report.outcomes[i], direct, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_never_exceeds_pending_cells() {
+        let spec = SweepSpec::single(&tiny(), &[1, 2]);
+        let report = Orchestrator::new().workers(16).run(&spec).unwrap();
+        assert_eq!(report.workers_spawned, 2, "capped at pending cells");
+        let empty = Orchestrator::new()
+            .workers(16)
+            .run(&SweepSpec::default())
+            .unwrap();
+        assert_eq!(empty.workers_spawned, 0);
+        assert!(empty.outcomes.is_empty());
+    }
+}

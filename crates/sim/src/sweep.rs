@@ -1,17 +1,21 @@
 //! Parallel experiment sweeps.
 //!
 //! Paper-scale figures average each data point over several seeded runs;
-//! every run is independent, so they parallelise perfectly. This module
-//! fans runs out over OS threads (no extra dependencies) while keeping
-//! results bit-identical to serial execution: each run is fully determined
-//! by `(config, seed)`, and outputs are returned in seed order.
+//! every run is independent, so they parallelise perfectly. These helpers
+//! are the classic one-config-many-seeds entry points, now thin adapters
+//! over the [`crate::orchestrator`] engine, which does the sharding (and
+//! optionally caching and checkpointing for callers that build an
+//! [`crate::Orchestrator`] themselves). Results stay bit-identical to
+//! serial execution: each run is fully determined by `(config, seed)`, and
+//! outputs are returned in seed order.
 
-use crate::{RunOptions, Runner, SimConfig, SimOutcome};
-use std::thread;
+use crate::orchestrator::{Orchestrator, SweepSpec};
+use crate::{SimConfig, SimOutcome};
 
 /// Runs `Runner::new(config, seed).run(RunOptions::new())` for every
-/// seed, spread over
-/// up to `threads` OS threads, returning the outcomes in seed order.
+/// seed, spread over up to `threads` OS threads, returning the outcomes in
+/// seed order. The worker pool is capped at `seeds.len()`, so an
+/// over-provisioned thread count never spawns idle workers.
 ///
 /// Passing `threads = 1` degenerates to the serial loop; results are
 /// identical either way.
@@ -21,70 +25,27 @@ use std::thread;
 /// Panics if `threads == 0` or a worker thread panics.
 pub fn run_seeds(config: &SimConfig, seeds: &[u64], threads: usize) -> Vec<SimOutcome> {
     assert!(threads > 0, "need at least one thread");
-    if seeds.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.min(seeds.len());
-    if threads == 1 {
-        return seeds
-            .iter()
-            .map(|&s| {
-                Runner::new(config.clone(), s)
-                    .run(RunOptions::new())
-                    .outcome
-            })
-            .collect();
-    }
-    let mut slots: Vec<Option<SimOutcome>> = vec![None; seeds.len()];
-    thread::scope(|scope| {
-        // Interleaved assignment keeps per-thread work balanced.
-        let chunks: Vec<(usize, &mut [Option<SimOutcome>])> = {
-            let mut rest: &mut [Option<SimOutcome>] = &mut slots;
-            let mut out = Vec::new();
-            let base = seeds.len() / threads;
-            let extra = seeds.len() % threads;
-            let mut offset = 0usize;
-            for t in 0..threads {
-                let take = base + usize::from(t < extra);
-                let (head, tail) = rest.split_at_mut(take);
-                out.push((offset, head));
-                rest = tail;
-                offset += take;
-            }
-            out
-        };
-        for (offset, chunk) in chunks {
-            let config = config.clone();
-            let seeds = &seeds[offset..offset + chunk.len()];
-            scope.spawn(move || {
-                for (slot, &seed) in chunk.iter_mut().zip(seeds) {
-                    *slot = Some(
-                        Runner::new(config.clone(), seed)
-                            .run(RunOptions::new())
-                            .outcome,
-                    );
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|o| o.expect("worker filled every slot"))
-        .collect()
+    let report = Orchestrator::new()
+        .workers(threads)
+        .run(&SweepSpec::single(config, seeds))
+        .expect("in-memory sweep cannot fail I/O");
+    debug_assert!(report.workers_spawned <= seeds.len());
+    report.outcomes
 }
 
 /// A convenience wrapper: run `seeds` and return the per-seed outcomes
-/// using all available parallelism.
+/// using all available parallelism (`workers(0)` = one per core).
 pub fn run_seeds_auto(config: &SimConfig, seeds: &[u64]) -> Vec<SimOutcome> {
-    let threads = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    run_seeds(config, seeds, threads)
+    Orchestrator::new()
+        .run(&SweepSpec::single(config, seeds))
+        .expect("in-memory sweep cannot fail I/O")
+        .outcomes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{RunOptions, Runner};
 
     fn cfg() -> SimConfig {
         SimConfig {

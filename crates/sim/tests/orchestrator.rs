@@ -1,0 +1,221 @@
+//! Determinism guarantees of the sweep orchestrator: an interrupted sweep
+//! resumed from its checkpoint is bit-identical to an uninterrupted one,
+//! and a warm cache replays a sweep without executing a single cell.
+
+use secloc_sim::{Orchestrator, SimConfig, SweepSpec};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tiny(attacker_p: f64) -> SimConfig {
+    SimConfig {
+        nodes: 120,
+        beacons: 12,
+        malicious: 3,
+        attacker_p,
+        ..SimConfig::paper_default()
+    }
+}
+
+fn grid() -> SweepSpec {
+    SweepSpec::product(&[tiny(0.3), tiny(0.7)], &[1, 2, 3])
+}
+
+/// A unique temp dir per test — the suite runs tests in parallel.
+fn scratch(label: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "secloc-orch-{label}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn resume_after_any_interruption_is_bit_identical() {
+    let spec = grid();
+    let dir = scratch("resume");
+
+    // Reference: one uninterrupted sweep.
+    let full_ckpt = dir.join("full.jsonl");
+    let full = Orchestrator::new()
+        .workers(2)
+        .checkpoint(&full_ckpt)
+        .run(&spec)
+        .unwrap();
+    let full_bytes = fs::read(&full_ckpt).unwrap();
+    let lines: Vec<&str> = std::str::from_utf8(&full_bytes).unwrap().lines().collect();
+    assert_eq!(lines.len(), spec.len() + 1, "header + one line per cell");
+
+    // Simulate a kill at every possible line boundary (0 lines written,
+    // header only, header + k cells) and at a mid-line byte cut, then
+    // resume and demand bit-identity.
+    // Each cut carries the number of complete cell lines it preserves.
+    let mut cuts: Vec<(Vec<u8>, usize)> = Vec::new();
+    let mut offset = 0usize;
+    cuts.push((Vec::new(), 0)); // killed before the header landed
+    for (l, line) in lines.iter().enumerate() {
+        offset += line.len() + 1; // + newline
+        cuts.push((full_bytes[..offset].to_vec(), l)); // header is line 0
+                                                       // Torn write: part of the following line made it to disk.
+        if offset + 10 < full_bytes.len() {
+            cuts.push((full_bytes[..offset + 10].to_vec(), l));
+        }
+    }
+
+    for (i, (cut, complete_cells)) in cuts.iter().enumerate() {
+        let ckpt = dir.join(format!("cut-{i}.jsonl"));
+        fs::write(&ckpt, cut).unwrap();
+        let resumed = Orchestrator::new()
+            .workers(3)
+            .checkpoint(&ckpt)
+            .run(&spec)
+            .unwrap();
+        assert_eq!(
+            resumed.outcomes, full.outcomes,
+            "cut {i}: outcomes diverged after resume"
+        );
+        assert_eq!(
+            fs::read(&ckpt).unwrap(),
+            full_bytes,
+            "cut {i}: rewritten checkpoint is not byte-identical"
+        );
+        assert_eq!(
+            resumed.resumed + resumed.executed,
+            spec.len(),
+            "cut {i}: every cell is either resumed or executed"
+        );
+        assert_eq!(
+            resumed.resumed, *complete_cells,
+            "cut {i}: exactly the complete prefix should replay"
+        );
+    }
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_cache_is_all_hits_and_byte_identical() {
+    let spec = grid();
+    let dir = scratch("cache");
+    let cache = dir.join("cache.jsonl");
+
+    let cold_ckpt = dir.join("cold.jsonl");
+    let cold = Orchestrator::new()
+        .workers(2)
+        .cache(&cache)
+        .checkpoint(&cold_ckpt)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(cold.executed, spec.len());
+    assert_eq!(cold.cache_hits, 0);
+
+    // Second identical sweep: zero executions, 100% cache hits, and the
+    // checkpoint it writes is byte-for-byte the cold run's.
+    let warm_ckpt = dir.join("warm.jsonl");
+    let warm = Orchestrator::new()
+        .workers(2)
+        .cache(&cache)
+        .checkpoint(&warm_ckpt)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(warm.executed, 0, "warm sweep must not simulate anything");
+    assert_eq!(warm.cache_hits, spec.len(), "every cell served from cache");
+    assert_eq!(
+        warm.workers_spawned, 0,
+        "no workers for a fully cached sweep"
+    );
+    assert_eq!(warm.outcomes, cold.outcomes);
+    assert_eq!(
+        fs::read(&warm_ckpt).unwrap(),
+        fs::read(&cold_ckpt).unwrap(),
+        "warm checkpoint differs from cold"
+    );
+
+    // An overlapping (superset) grid reuses the shared cells.
+    let bigger = SweepSpec::product(&[tiny(0.3), tiny(0.7)], &[1, 2, 3, 4]);
+    let partial = Orchestrator::new()
+        .workers(2)
+        .cache(&cache)
+        .run(&bigger)
+        .unwrap();
+    assert_eq!(partial.cache_hits, spec.len());
+    assert_eq!(partial.executed, bigger.len() - spec.len());
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_checkpoints_are_rejected_not_spliced() {
+    let spec = grid();
+    let dir = scratch("stale");
+    let ckpt = dir.join("ckpt.jsonl");
+
+    Orchestrator::new()
+        .workers(2)
+        .checkpoint(&ckpt)
+        .run(&spec)
+        .unwrap();
+
+    // A different grid under the same path must refuse to resume.
+    let other = SweepSpec::single(&tiny(0.5), &[9, 10]);
+    let err = Orchestrator::new()
+        .checkpoint(&ckpt)
+        .run(&other)
+        .expect_err("mismatched grid should be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Same grid under a different code-version tag: the recorded outcomes
+    // may be stale, so the checkpoint must be rejected too.
+    let err = Orchestrator::new()
+        .tag("simulated-old-revision")
+        .checkpoint(&ckpt)
+        .run(&spec)
+        .expect_err("stale code tag should be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_keys_are_tag_scoped() {
+    let spec = SweepSpec::single(&tiny(0.4), &[1, 2]);
+    let dir = scratch("tag");
+    let cache = dir.join("cache.jsonl");
+
+    let first = Orchestrator::new().cache(&cache).run(&spec).unwrap();
+    assert_eq!(first.executed, 2);
+
+    // A "code change" (new tag) misses the old entries entirely.
+    let bumped = Orchestrator::new()
+        .tag("rev-next")
+        .cache(&cache)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(bumped.cache_hits, 0, "old-tag entries must not be reused");
+    assert_eq!(bumped.executed, 2);
+
+    // While the original tag still hits.
+    let again = Orchestrator::new().cache(&cache).run(&spec).unwrap();
+    assert_eq!(again.cache_hits, 2);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn orchestrated_sweep_matches_run_seeds() {
+    // The compatibility contract behind the `run_seeds` rewiring: the
+    // orchestrator's outcomes are exactly the classic helper's, in order.
+    let config = tiny(0.6);
+    let seeds: Vec<u64> = (0..5).collect();
+    let report = Orchestrator::new()
+        .workers(2)
+        .run(&SweepSpec::single(&config, &seeds))
+        .unwrap();
+    assert_eq!(
+        report.outcomes,
+        secloc_sim::sweep::run_seeds(&config, &seeds, 3)
+    );
+}

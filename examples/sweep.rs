@@ -1,0 +1,162 @@
+//! Sweep CLI: run an `attacker_p × seed` grid through the orchestrator
+//! with caching, checkpointing, and live progress from the obs counters.
+//!
+//! ```text
+//! cargo run --release --example sweep -- \
+//!     [--p 0.1,0.3,0.5] [--seeds 5] [--workers 0] \
+//!     [--nodes 1000 --beacons 100 --malicious 10] \
+//!     [--cache results/sweep_cache.jsonl] \
+//!     [--checkpoint results/sweep_checkpoint.jsonl]
+//! ```
+//!
+//! Interrupt it mid-run and re-run the same command: the checkpoint
+//! replays the finished prefix and only the remainder is simulated. Run it
+//! twice to completion and the second invocation reports 100% cache hits.
+
+use secloc::obs::{MetricsRegistry, Obs};
+use secloc::sim::{average_outcomes, Orchestrator, SimConfig, SweepSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    p_values: Vec<f64>,
+    seeds: u64,
+    workers: usize,
+    nodes: u32,
+    beacons: u32,
+    malicious: u32,
+    cache: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        p_values: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+        seeds: 5,
+        workers: 0,
+        nodes: 300,
+        beacons: 30,
+        malicious: 3,
+        cache: Some(PathBuf::from("results/sweep_cache.jsonl")),
+        checkpoint: Some(PathBuf::from("results/sweep_checkpoint.jsonl")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--p" => {
+                args.p_values = value("--p")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--p takes comma-separated floats"))
+                    .collect();
+            }
+            "--seeds" => args.seeds = value("--seeds").parse().expect("--seeds takes an integer"),
+            "--workers" => {
+                args.workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes an integer")
+            }
+            "--nodes" => args.nodes = value("--nodes").parse().expect("--nodes takes an integer"),
+            "--beacons" => {
+                args.beacons = value("--beacons")
+                    .parse()
+                    .expect("--beacons takes an integer")
+            }
+            "--malicious" => {
+                args.malicious = value("--malicious")
+                    .parse()
+                    .expect("--malicious takes an integer")
+            }
+            "--cache" => args.cache = Some(PathBuf::from(value("--cache"))),
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--no-cache" => args.cache = None,
+            "--no-checkpoint" => args.checkpoint = None,
+            other => panic!("unknown flag {other} (see the doc comment for usage)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let configs: Vec<SimConfig> = args
+        .p_values
+        .iter()
+        .map(|&p| SimConfig {
+            nodes: args.nodes,
+            beacons: args.beacons,
+            malicious: args.malicious,
+            attacker_p: p,
+            ..SimConfig::paper_default()
+        })
+        .collect();
+    let seeds: Vec<u64> = (1..=args.seeds).collect();
+    let spec = SweepSpec::product(&configs, &seeds);
+    println!(
+        "sweep: {} configs x {} seeds = {} cells",
+        configs.len(),
+        seeds.len(),
+        spec.len()
+    );
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let obs = Obs::with_metrics(registry.clone());
+    let mut orch = Orchestrator::new().workers(args.workers).observed(&obs);
+    if let Some(cache) = &args.cache {
+        orch = orch.cache(cache);
+    }
+    if let Some(checkpoint) = &args.checkpoint {
+        orch = orch.checkpoint(checkpoint);
+    }
+
+    // Progress from the obs counters, polled while the sweep runs.
+    let done_counter = registry.counter("sweep.cells_done");
+    let total = spec.len() as u64;
+    let report = std::thread::scope(|scope| {
+        let progress = scope.spawn(move || {
+            let mut last = u64::MAX;
+            loop {
+                let done = done_counter.get();
+                if done != last {
+                    eprint!("\r  {done}/{total} cells done");
+                    last = done;
+                }
+                if done >= total {
+                    eprintln!();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        });
+        let report = orch.run(&spec).expect("sweep I/O failed");
+        progress.join().expect("progress thread");
+        report
+    });
+
+    println!(
+        "resumed {} | cached {} | executed {} | workers {}",
+        report.resumed, report.cache_hits, report.executed, report.workers_spawned
+    );
+    if report.executed == 0 {
+        println!("all cells served without simulation (100% cache/checkpoint reuse)");
+    }
+
+    println!("\n  P     detect  false+  N'");
+    for (i, &p) in args.p_values.iter().enumerate() {
+        let rows = &report.outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+        let agg = average_outcomes(rows);
+        println!(
+            "  {p:<5} {:<7.3} {:<7.3} {:.2}",
+            agg.detection_rate, agg.false_positive_rate, agg.affected_after
+        );
+    }
+    if let Some(cache) = &args.cache {
+        println!("\ncache: {}", cache.display());
+    }
+    if let Some(checkpoint) = &args.checkpoint {
+        println!("checkpoint: {}", checkpoint.display());
+    }
+}
