@@ -22,6 +22,7 @@ use secloc_analysis::roc::{EmpiricalPoint, RobustnessCurve};
 use secloc_bench::{banner, results_dir, Table};
 use secloc_faults::{BurstLossSpec, ChurnSpec, FaultPlan, NoiseRegion};
 use secloc_obs::{MetricsRegistry, Obs};
+use secloc_sim::orchestrator::{code_version_tag, config_fingerprint, outcome_revision};
 use secloc_sim::{average_outcomes, Orchestrator, RunOptions, Runner, SimConfig, SweepSpec};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -207,6 +208,13 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"config\": \"paper_default shrunk to 500/50/5, attacker_p 0.6\","
+    );
+    let _ = writeln!(json, "  \"outcome_revision\": {},", outcome_revision());
+    let _ = writeln!(json, "  \"code_version\": \"{}\",", code_version_tag());
+    let _ = writeln!(
+        json,
+        "  \"config_fingerprint\": \"{}\",",
+        config_fingerprint(&base_config())
     );
     json.push_str("  \"curves\": {\n");
     write_curve(&mut json, &noise, false);

@@ -135,6 +135,33 @@ impl DetectionPipeline {
         }
     }
 
+    /// [`DetectionPipeline::evaluate`] and
+    /// [`DetectionPipeline::accepts_for_localization`] in one pass.
+    ///
+    /// Both views hinge on the same detector-to-declared distance; the
+    /// separate methods compute it up to three times per exchange. This
+    /// variant computes it once and derives both answers from the same
+    /// stage verdicts, so it is bit-identical to calling the two methods
+    /// separately (every stage is a pure function of the observation).
+    pub fn evaluate_with_acceptance(&self, obs: &Observation) -> (DetectionOutcome, bool) {
+        let calculated = obs.detector_position.distance(obs.declared_position);
+        let wormhole_replay = calculated > self.wormhole.range() && obs.wormhole_detector_fired;
+        let fresh = self.rtt.classify(obs.rtt) == LocalReplayVerdict::Fresh;
+        // Same comparison direction as `SignalDetector::check` so that
+        // non-finite measurements classify identically.
+        let malicious = (obs.measured_distance_ft - calculated).abs() > self.signal.max_error();
+        let outcome = if !malicious {
+            DetectionOutcome::Benign
+        } else if wormhole_replay {
+            DetectionOutcome::IgnoredWormholeReplay
+        } else if fresh {
+            DetectionOutcome::Alert
+        } else {
+            DetectionOutcome::IgnoredLocalReplay
+        };
+        (outcome, !wormhole_replay && fresh)
+    }
+
     /// The non-beacon (requesting sensor) view of the same filters: keep a
     /// signal for location estimation only when it is not recognisably
     /// replayed. A malicious-but-fresh signal *is* kept — a non-beacon node
@@ -286,6 +313,44 @@ mod tests {
         assert!(!DetectionOutcome::Benign.raises_alert());
         assert!(!DetectionOutcome::IgnoredWormholeReplay.raises_alert());
         assert!(!DetectionOutcome::IgnoredLocalReplay.raises_alert());
+    }
+
+    #[test]
+    fn combined_evaluation_agrees_with_separate_methods() {
+        // Every verdict class, both wormhole-detector states, boundary
+        // RTTs and a non-finite measurement: the fused path must agree
+        // with the two separate methods on all of them.
+        let p = pipeline();
+        let positions = [
+            Point2::new(60.0, 80.0),   // in range, consistent
+            Point2::new(600.0, 800.0), // far: malicious-looking
+            Point2::new(100.0, 0.0),   // in range, inconsistent distance
+        ];
+        let x_max = p.rtt_filter().x_max().as_u64();
+        for declared in positions {
+            for measured in [100.0, 50.0, 1000.0, f64::NAN] {
+                for fired in [false, true] {
+                    for rtt in [
+                        Cycles::new(6_800),
+                        Cycles::new(x_max),
+                        Cycles::new(x_max + 1),
+                    ] {
+                        let obs = Observation {
+                            detector_position: Point2::new(0.0, 0.0),
+                            declared_position: declared,
+                            measured_distance_ft: measured,
+                            rtt,
+                            wormhole_detector_fired: fired,
+                        };
+                        assert_eq!(
+                            p.evaluate_with_acceptance(&obs),
+                            (p.evaluate(&obs), p.accepts_for_localization(&obs)),
+                            "{obs:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

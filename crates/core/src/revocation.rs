@@ -2,7 +2,6 @@
 
 use crate::Alert;
 use secloc_crypto::NodeId;
-use std::collections::{HashMap, HashSet};
 
 /// The two thresholds of the revocation scheme.
 ///
@@ -106,10 +105,17 @@ impl AlertOutcome {
 #[derive(Debug, Clone)]
 pub struct BaseStation {
     config: RevocationConfig,
-    report_counters: HashMap<NodeId, u32>,
-    alert_counters: HashMap<NodeId, u32>,
-    accusations: HashSet<(NodeId, NodeId)>,
-    revoked: HashSet<NodeId>,
+    // Dense per-node state, indexed by `NodeId.0` and grown on demand.
+    // Node IDs in this system are compact indices (the `IdSpace`
+    // convention), so flat tables replace the hashed maps the sweep
+    // orchestrator was spending its per-cell revocation time in.
+    report_counters: Vec<u32>,
+    alert_counters: Vec<u32>,
+    // Per reporter, the targets whose accusation the station accepted.
+    // Bounded by the τ + 1 report budget, so a linear scan is the fast
+    // duplicate filter.
+    accused: Vec<Vec<NodeId>>,
+    revoked: Vec<bool>,
     accepted_log: Vec<Alert>,
 }
 
@@ -118,10 +124,10 @@ impl BaseStation {
     pub fn new(config: RevocationConfig) -> Self {
         BaseStation {
             config,
-            report_counters: HashMap::new(),
-            alert_counters: HashMap::new(),
-            accusations: HashSet::new(),
-            revoked: HashSet::new(),
+            report_counters: Vec::new(),
+            alert_counters: Vec::new(),
+            accused: Vec::new(),
+            revoked: Vec::new(),
             accepted_log: Vec::new(),
         }
     }
@@ -131,6 +137,16 @@ impl BaseStation {
         self.config
     }
 
+    fn ensure_node(&mut self, id: NodeId) {
+        let need = id.0 as usize + 1;
+        if self.report_counters.len() < need {
+            self.report_counters.resize(need, 0);
+            self.alert_counters.resize(need, 0);
+            self.accused.resize(need, Vec::new());
+            self.revoked.resize(need, false);
+        }
+    }
+
     /// Processes one (already authenticated) alert, exactly per §3.1.
     pub fn process(&mut self, alert: Alert) -> AlertOutcome {
         // Order of checks follows the paper: report budget first, then
@@ -138,22 +154,25 @@ impl BaseStation {
         // struct docs for the audit of both points). Only then is the
         // duplicate filter consulted, so an over-budget reporter repeating
         // itself reads as budget exhaustion, not as a duplicate.
-        let report_counter = self.report_counters.entry(alert.reporter).or_insert(0);
-        if *report_counter > self.config.tau {
+        self.ensure_node(alert.reporter);
+        self.ensure_node(alert.target);
+        let r = alert.reporter.0 as usize;
+        let t = alert.target.0 as usize;
+        if self.report_counters[r] > self.config.tau {
             return AlertOutcome::IgnoredReporterBudget;
         }
-        if self.revoked.contains(&alert.target) {
+        if self.revoked[t] {
             return AlertOutcome::IgnoredTargetRevoked;
         }
-        if !self.accusations.insert((alert.reporter, alert.target)) {
+        if self.accused[r].contains(&alert.target) {
             return AlertOutcome::IgnoredDuplicate;
         }
-        *report_counter += 1;
-        let alert_counter = self.alert_counters.entry(alert.target).or_insert(0);
-        *alert_counter += 1;
+        self.accused[r].push(alert.target);
+        self.report_counters[r] += 1;
+        self.alert_counters[t] += 1;
         self.accepted_log.push(alert);
-        if *alert_counter > self.config.tau_prime {
-            self.revoked.insert(alert.target);
+        if self.alert_counters[t] > self.config.tau_prime {
+            self.revoked[t] = true;
             AlertOutcome::AcceptedAndRevoked
         } else {
             AlertOutcome::Accepted
@@ -167,31 +186,42 @@ impl BaseStation {
 
     /// Whether `node` has been revoked.
     pub fn is_revoked(&self, node: NodeId) -> bool {
-        self.revoked.contains(&node)
+        self.revoked.get(node.0 as usize).copied().unwrap_or(false)
     }
 
     /// All revoked nodes, sorted by ID.
     pub fn revoked(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.revoked.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.revoked
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
     }
 
     /// Current alert counter of `node`: how many *distinct* reporters have
     /// had an accusation against it accepted.
     pub fn suspiciousness(&self, node: NodeId) -> u32 {
-        self.alert_counters.get(&node).copied().unwrap_or(0)
+        self.alert_counters
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Whether the station has already accepted an accusation by
     /// `reporter` against `target`.
     pub fn has_accused(&self, reporter: NodeId, target: NodeId) -> bool {
-        self.accusations.contains(&(reporter, target))
+        self.accused
+            .get(reporter.0 as usize)
+            .is_some_and(|targets| targets.contains(&target))
     }
 
     /// Accepted alerts submitted by `node` so far.
     pub fn reports_spent(&self, node: NodeId) -> u32 {
-        self.report_counters.get(&node).copied().unwrap_or(0)
+        self.report_counters
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The accepted alerts, in arrival order (audit log).

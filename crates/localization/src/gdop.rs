@@ -18,9 +18,22 @@ use secloc_geometry::Point2;
 /// geometry is singular (collinear anchors / anchor coincident with the
 /// position).
 pub fn hdop(position: Point2, anchors: &[Point2]) -> Option<f64> {
+    hdop_rows(position, anchors.iter().copied())
+}
+
+/// HDOP computed from a reference set (anchor positions only). Reads the
+/// anchors straight off the references — no intermediate buffer.
+pub fn hdop_of_references(position: Point2, refs: &[LocationReference]) -> Option<f64> {
+    hdop_rows(position, refs.iter().map(|r| r.anchor()))
+}
+
+/// The shared accumulation behind [`hdop`] and [`hdop_of_references`]:
+/// whichever container holds the anchors, the float operations (and hence
+/// the bits) are the same.
+pub(crate) fn hdop_rows(position: Point2, anchors: impl Iterator<Item = Point2>) -> Option<f64> {
     let (mut a, mut b, mut c) = (0.0f64, 0.0f64, 0.0f64); // JtJ = [a b; b c]
     let mut used = 0usize;
-    for &anchor in anchors {
+    for anchor in anchors {
         let diff = position - anchor;
         let norm = diff.norm();
         if norm < 1e-9 {
@@ -43,12 +56,6 @@ pub fn hdop(position: Point2, anchors: &[Point2]) -> Option<f64> {
     // trace of inverse = (a + c) / det.
     let t = (a + c) / det;
     (t.is_finite() && t >= 0.0).then(|| t.sqrt())
-}
-
-/// HDOP computed from a reference set (anchor positions only).
-pub fn hdop_of_references(position: Point2, refs: &[LocationReference]) -> Option<f64> {
-    let anchors: Vec<Point2> = refs.iter().map(|r| r.anchor()).collect();
-    hdop(position, &anchors)
 }
 
 /// Expected position-error bound: `HDOP × max ranging error`, when the

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod centroid;
 pub mod dvhop;
 mod estimator;
@@ -49,6 +50,7 @@ mod mmse;
 mod reference;
 mod robust;
 
+pub use batch::{BatchedMmse, MmseScratch};
 pub use centroid::CentroidEstimator;
 pub use dvhop::DvHop;
 pub use estimator::{Estimate, EstimateError, Estimator};

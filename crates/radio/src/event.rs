@@ -63,6 +63,17 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue at time zero with room for `capacity` events
+    /// before reallocating — for the schedule-everything-then-drain pattern
+    /// where the event count is known up front.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
@@ -187,6 +198,17 @@ mod tests {
         q.schedule(Cycles::new(100), ());
         q.pop();
         q.schedule(Cycles::new(99), ());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.schedule(Cycles::new(4), 'a');
+        q.schedule(Cycles::new(2), 'b');
+        assert_eq!(q.pop(), Some((Cycles::new(2), 'b')));
+        assert_eq!(q.pop(), Some((Cycles::new(4), 'a')));
     }
 
     #[test]

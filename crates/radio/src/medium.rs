@@ -12,6 +12,7 @@ use crate::{Cycles, Frame, FrameBody};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use secloc_geometry::{Field, GridIndex, Point2};
+use std::sync::Arc;
 
 /// One frame arriving at one receiver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,7 +72,7 @@ pub struct Tap {
 /// ```
 #[derive(Debug)]
 pub struct Medium {
-    positions: Vec<Point2>,
+    positions: Arc<[Point2]>,
     range_ft: f64,
     loss: BernoulliLoss,
     taps: Vec<Tap>,
@@ -83,17 +84,20 @@ pub struct Medium {
     // which taps capture it, and who hears each tap's replay point. Only
     // the per-receiver loss draws remain per transmit. The caches fill
     // lazily (first transmit from a sender) so construction stays cheap.
-    grid: Option<GridIndex>,
+    // Everything cached is immutable once built and lives behind `Arc`, so
+    // [`Medium::fork`] can hand policy variants of one topology the primed
+    // geometry without copying it.
+    grid: Option<Arc<GridIndex>>,
     grid_built: bool,
     direct: Vec<Option<InRangeList>>,
-    tap_capture: Vec<Option<Box<[u32]>>>,
+    tap_capture: Vec<Option<Arc<[u32]>>>,
     tap_replay: Vec<InRangeList>,
     taps_primed: bool,
 }
 
 /// Receivers in range of some point, ascending, with the propagation delay
-/// to each one precomputed.
-type InRangeList = Box<[(u32, Cycles)]>;
+/// to each one precomputed. Shared, not copied, when a medium is forked.
+type InRangeList = Arc<[(u32, Cycles)]>;
 
 /// Why a [`Medium`] could not be constructed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,7 +154,7 @@ impl Medium {
         }
         let n = positions.len();
         Ok(Medium {
-            positions,
+            positions: positions.into(),
             range_ft,
             loss: BernoulliLoss::new(loss_rate),
             taps: Vec::new(),
@@ -180,6 +184,30 @@ impl Medium {
         self.tap_replay.clear();
         for c in &mut self.tap_capture {
             *c = None;
+        }
+    }
+
+    /// An independent medium over the same geometry: shares every built
+    /// immutable cache (positions, spatial index, delivery and tap lists)
+    /// by reference, starts a fresh loss-RNG stream from `seed`, and
+    /// carries no metrics handle. Sweep engines sharing one topology
+    /// across policy variants fork the primed medium instead of
+    /// re-deriving its geometry; a fork seeded like a fresh
+    /// [`Medium::new`] over the same inputs is bit-identical to it.
+    pub fn fork(&self, seed: u64) -> Medium {
+        Medium {
+            positions: Arc::clone(&self.positions),
+            range_ft: self.range_ft,
+            loss: self.loss,
+            taps: self.taps.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: None,
+            grid: self.grid.clone(),
+            grid_built: self.grid_built,
+            direct: self.direct.clone(),
+            tap_capture: self.tap_capture.clone(),
+            tap_replay: self.tap_replay.clone(),
+            taps_primed: self.taps_primed,
         }
     }
 
@@ -443,7 +471,7 @@ impl Medium {
         }
         if self.tap_capture[sender].is_none() {
             let src = self.positions[sender];
-            let caps: Box<[u32]> = self
+            let caps: Arc<[u32]> = self
                 .taps
                 .iter()
                 .enumerate()
@@ -473,16 +501,16 @@ impl Medium {
         }
         let mut w = 1.0f64;
         let mut h = 1.0f64;
-        for p in &self.positions {
+        for p in self.positions.iter() {
             w = w.max(p.x);
             h = h.max(p.y);
         }
         let field = Field::new(w, h);
-        self.grid = Some(GridIndex::build(
+        self.grid = Some(Arc::new(GridIndex::build(
             &field,
             self.range_ft,
             self.positions.iter().copied(),
-        ));
+        )));
     }
 
     /// All receivers within radio range of `from` (excluding `exclude`),
@@ -788,6 +816,50 @@ mod tests {
                 "{counter}"
             );
         }
+    }
+
+    #[test]
+    fn fork_shares_primed_caches_and_matches_a_fresh_medium() {
+        // Prime every cache on the parent…
+        let mut parent = tapped_grid_medium(0.3, 42);
+        for sender in 0..parent.len() {
+            parent.transmit(sender, &request_frame(sender as u32, 0), Cycles::ZERO);
+        }
+        // …fork it, and drive the fork in lockstep with a fresh medium
+        // built from the same inputs and the fork's seed. Loss enabled so
+        // any RNG-stream divergence desynchronizes the comparison.
+        let mut fork = parent.fork(77);
+        let mut fresh = tapped_grid_medium(0.3, 77);
+        assert!(Arc::ptr_eq(&parent.positions, &fork.positions));
+        assert!(parent
+            .direct
+            .iter()
+            .zip(&fork.direct)
+            .all(|(a, b)| match (a, b) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }));
+        for round in 0..2u32 {
+            for sender in 0..fork.len() {
+                let f = request_frame(sender as u32, 0);
+                let at = Cycles::new(u64::from(round) * 1_000_000);
+                assert_eq!(
+                    fork.transmit(sender, &f, at),
+                    fresh.transmit(sender, &f, at),
+                    "round={round} sender={sender}"
+                );
+            }
+        }
+        // The fork is independent: a tap added to it never reaches the
+        // parent, whose caches stay primed.
+        fork.add_tap(Tap {
+            capture_at: Point2::new(60.0, 60.0),
+            capture_range: 10.0,
+            replay_from: Point2::new(660.0, 660.0),
+            extra_delay: Cycles::ZERO,
+        });
+        assert_eq!(parent.taps.len(), 2);
+        assert!(parent.taps_primed);
     }
 
     #[test]

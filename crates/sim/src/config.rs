@@ -58,6 +58,67 @@ pub struct SimConfig {
     pub faults: FaultPlan,
 }
 
+/// The placement-determining projection of a [`SimConfig`].
+///
+/// Two configurations with equal topology keys and equal seeds deploy the
+/// *same physical network*: node positions, grid indices, the malicious
+/// subset, per-beacon lie angles, and the fault schedules are all
+/// byte-identical, because every RNG stream the deployment (and the fault
+/// resolver) consumes is seeded and advanced by these fields alone — no
+/// policy knob can reach them (DESIGN.md §12). The orchestrator groups
+/// sweep cells by `(topology_key, seed)` and builds the deployment once
+/// per group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyKey {
+    /// Total sensor nodes `N`.
+    pub nodes: u32,
+    /// Beacon nodes `N_b`.
+    pub beacons: u32,
+    /// Compromised beacon nodes `N_a` — topology, not policy: selecting
+    /// the malicious subset and drawing its lie angles consumes the
+    /// deployment RNG stream.
+    pub malicious: u32,
+    /// Side of the square sensing field, in feet.
+    pub field_side_ft: f64,
+    /// Maximum radio communication range, in feet.
+    pub range_ft: f64,
+    /// Wormhole tap points, or `None`.
+    pub wormhole: Option<(Point2, Point2)>,
+    /// Injected degradations; the drift/churn schedules they generate
+    /// depend only on counts and the seed.
+    pub faults: FaultPlan,
+}
+
+/// The detector/revocation-policy projection of a [`SimConfig`] — every
+/// field *not* in [`TopologyKey`]. Policy knobs parameterize how the
+/// deployed network is probed, judged, and revoked; none of them can
+/// perturb node placement (see [`SimConfig::topology_key`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyKey {
+    /// Maximum distance-measurement error ε, in feet.
+    pub max_ranging_error_ft: f64,
+    /// Detecting IDs per beacon node (`m`).
+    pub detecting_ids: u32,
+    /// Base-station report cap τ.
+    pub tau: u32,
+    /// Base-station revocation threshold τ′.
+    pub tau_prime: u32,
+    /// Wormhole-detector detection rate `p_d`.
+    pub wormhole_detection_rate: f64,
+    /// The attacker's acceptance probability `P`.
+    pub attacker_p: f64,
+    /// Magnitude of the location lie, in feet. Policy, not topology: the
+    /// lie *direction* is drawn during deployment, but the stored angle is
+    /// scaled by this magnitude only when the beacon replies.
+    pub lie_offset_ft: f64,
+    /// Whether malicious beacons collude to spam alerts.
+    pub collusion: bool,
+    /// Per-transmission loss rate on the alert path.
+    pub alert_loss_rate: f64,
+    /// Retransmission budget per alert.
+    pub alert_retransmissions: u32,
+}
+
 /// Why a [`SimConfig`] was rejected by [`SimConfig::validate`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
@@ -100,6 +161,9 @@ pub enum ConfigError {
     },
     /// The fault plan is internally inconsistent.
     Faults(FaultError),
+    /// A policy re-key attempted to change placement-determining fields
+    /// (see [`SimConfig::topology_key`]).
+    TopologyMismatch,
 }
 
 impl fmt::Display for ConfigError {
@@ -139,6 +203,9 @@ impl fmt::Display for ConfigError {
                  declared location is plausibly wormhole-distant"
             ),
             ConfigError::Faults(e) => write!(f, "fault plan: {e}"),
+            ConfigError::TopologyMismatch => {
+                write!(f, "policy re-key would change the deployment topology")
+            }
         }
     }
 }
@@ -189,6 +256,37 @@ impl SimConfig {
     pub fn builder() -> SimConfigBuilder {
         SimConfigBuilder {
             config: SimConfig::paper_default(),
+        }
+    }
+
+    /// The placement-determining half of this configuration; see
+    /// [`TopologyKey`].
+    pub fn topology_key(&self) -> TopologyKey {
+        TopologyKey {
+            nodes: self.nodes,
+            beacons: self.beacons,
+            malicious: self.malicious,
+            field_side_ft: self.field_side_ft,
+            range_ft: self.range_ft,
+            wormhole: self.wormhole,
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// The detector/revocation-policy half of this configuration; see
+    /// [`PolicyKey`].
+    pub fn policy_key(&self) -> PolicyKey {
+        PolicyKey {
+            max_ranging_error_ft: self.max_ranging_error_ft,
+            detecting_ids: self.detecting_ids,
+            tau: self.tau,
+            tau_prime: self.tau_prime,
+            wormhole_detection_rate: self.wormhole_detection_rate,
+            attacker_p: self.attacker_p,
+            lie_offset_ft: self.lie_offset_ft,
+            collusion: self.collusion,
+            alert_loss_rate: self.alert_loss_rate,
+            alert_retransmissions: self.alert_retransmissions,
         }
     }
 
@@ -462,6 +560,59 @@ mod tests {
         // The fault error is carried as the source.
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("fault plan"));
+    }
+
+    #[test]
+    fn keys_partition_the_config() {
+        // Every SimConfig field must land in exactly one key. The struct
+        // literal below fails to compile when a field is added without
+        // classifying it, and the equality fails if a key stops carrying
+        // a field it claims.
+        let c = SimConfig::paper_default();
+        let t = c.topology_key();
+        let p = c.policy_key();
+        let rebuilt = SimConfig {
+            nodes: t.nodes,
+            beacons: t.beacons,
+            malicious: t.malicious,
+            field_side_ft: t.field_side_ft,
+            range_ft: t.range_ft,
+            wormhole: t.wormhole,
+            faults: t.faults.clone(),
+            max_ranging_error_ft: p.max_ranging_error_ft,
+            detecting_ids: p.detecting_ids,
+            tau: p.tau,
+            tau_prime: p.tau_prime,
+            wormhole_detection_rate: p.wormhole_detection_rate,
+            attacker_p: p.attacker_p,
+            lie_offset_ft: p.lie_offset_ft,
+            collusion: p.collusion,
+            alert_loss_rate: p.alert_loss_rate,
+            alert_retransmissions: p.alert_retransmissions,
+        };
+        assert_eq!(rebuilt, c);
+    }
+
+    #[test]
+    fn policy_changes_leave_the_topology_key_alone() {
+        let base = SimConfig::paper_default();
+        let mut varied = base.clone();
+        varied.tau = 7;
+        varied.tau_prime = 1;
+        varied.max_ranging_error_ft = 25.0;
+        varied.detecting_ids = 3;
+        varied.wormhole_detection_rate = 0.4;
+        varied.attacker_p = 0.9;
+        varied.lie_offset_ft = 500.0;
+        varied.collusion = false;
+        varied.alert_loss_rate = 0.3;
+        varied.alert_retransmissions = 2;
+        assert_eq!(base.topology_key(), varied.topology_key());
+        assert_ne!(base.policy_key(), varied.policy_key());
+
+        let mut moved = base.clone();
+        moved.range_ft = 200.0;
+        assert_ne!(base.topology_key(), moved.topology_key());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use secloc_attack::{BeaconStrategy, CompromisedBeacon, Wormhole};
 use secloc_crypto::{prf, IdSpace, NodeId};
 use secloc_geometry::{deploy, Field, GridIndex, Point2, Vector2};
 use secloc_radio::Cycles;
+use std::sync::{Arc, OnceLock};
 
 /// What a deployed node is (omniscient view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +31,21 @@ pub enum NodeKind {
 pub struct Deployment {
     config: SimConfig,
     ids: IdSpace,
-    index: GridIndex,
+    // The placement-determined state, shared across policy re-keys (see
+    // `with_policy`): everything in here is a pure function of
+    // `(config.topology_key(), seed)`.
+    topology: Arc<Topology>,
+    compromised: Vec<Option<CompromisedBeacon>>,
+    seed: u64,
+}
+
+/// The placement-determined half of a deployment: node positions (inside
+/// the spatial indices), roles, the malicious subset with its lie angles,
+/// and the wormhole geometry. Immutable once built, and shared behind an
+/// `Arc` by every policy variant of the same `(topology_key, seed)` cell.
+#[derive(Debug)]
+pub(crate) struct Topology {
+    pub(crate) index: GridIndex,
     // A second, much smaller index over beacons only (indices align with
     // node indices 0..beacons). "Which beacons can this node hear?" is the
     // hottest query in a run and scans ~10× fewer candidates here than on
@@ -41,9 +56,25 @@ pub struct Deployment {
     // is pure geometry over static positions, so it is computed once.
     wormhole_exits: Vec<(u32, Point2)>,
     kinds: Vec<NodeKind>,
-    compromised: Vec<Option<CompromisedBeacon>>,
+    // The compromised beacons in selection order, with the lie *angle*
+    // drawn for each during generation. The angle (an RNG draw) is
+    // topology; the lie magnitude it is scaled by is policy, so
+    // `CompromisedBeacon`s are rebuilt per policy re-key from these.
+    malicious_set: Vec<u32>,
+    lie_angles: Vec<f64>,
     wormhole: Option<Wormhole>,
     seed: u64,
+    // Topology-pure derived statistic, computed at most once per topology
+    // no matter how many policy variants share it.
+    mean_requesters: OnceLock<f64>,
+    // CSR cache of each node's audible-beacon list (direct neighbours from
+    // the beacon index, ascending, then wormhole-carried benign beacons
+    // ascending): node `i` hears `audible_targets[audible_offsets[i] ..
+    // audible_offsets[i + 1]]`. Every run queries each node exactly once
+    // per phase, so precomputing here moves the entire query cost out of
+    // the timed phases and shares it across policy variants.
+    audible_offsets: Vec<u32>,
+    audible_targets: Vec<u32>,
 }
 
 impl Deployment {
@@ -83,22 +114,13 @@ impl Deployment {
             .collect();
 
         let mut kinds = vec![NodeKind::Sensor; config.nodes as usize];
-        let mut compromised: Vec<Option<CompromisedBeacon>> = vec![None; config.nodes as usize];
-        let strategy = BeaconStrategy::with_acceptance(config.attacker_p);
         for b in 0..config.beacons {
             kinds[b as usize] = NodeKind::BenignBeacon;
         }
+        let mut lie_angles = Vec::with_capacity(malicious_set.len());
         for &b in &malicious_set {
             kinds[b as usize] = NodeKind::MaliciousBeacon;
-            let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
-            let offset = Vector2::from_angle(angle) * config.lie_offset_ft;
-            compromised[b as usize] = Some(CompromisedBeacon::new(
-                NodeId(b),
-                positions[b as usize],
-                offset,
-                strategy,
-                subseed(seed, &[b"beacon".as_slice(), &b.to_le_bytes()].concat()),
-            ));
+            lie_angles.push(rng.gen_range(0.0..std::f64::consts::TAU));
         }
 
         let wormhole = config
@@ -115,19 +137,106 @@ impl Deployment {
             None => Vec::new(),
         };
 
-        let ids = IdSpace::new(config.beacons, config.non_beacons(), config.detecting_ids);
+        // Precompute every node's audible-beacon list. The contents are a
+        // pure function of the topology (positions, roles, wormhole, radio
+        // range — all TopologyKey fields), so the cache is shared by every
+        // policy re-key and must match what an uncached query would return
+        // (the `audible_cache_matches_direct_queries` test is the oracle).
+        let mut audible_offsets = Vec::with_capacity(config.nodes as usize + 1);
+        let mut audible_targets: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        audible_offsets.push(0u32);
+        for i in 0..config.nodes {
+            let my_pos = positions[i as usize];
+            scratch.clear();
+            scratch.extend(
+                beacon_index
+                    .within_iter(my_pos, config.range_ft)
+                    .map(|v| v as u32),
+            );
+            scratch.sort_unstable();
+            scratch.retain(|&v| v != i);
+            for &(v, exit) in &wormhole_exits {
+                if v == i {
+                    continue;
+                }
+                let vp = positions[v as usize];
+                if my_pos.distance(vp) > config.range_ft && exit.distance(my_pos) <= config.range_ft
+                {
+                    scratch.push(v);
+                }
+            }
+            audible_targets.extend_from_slice(&scratch);
+            audible_offsets.push(audible_targets.len() as u32);
+        }
 
-        Ok(Deployment {
-            config,
-            ids,
+        let topology = Arc::new(Topology {
             index,
             beacon_index,
             wormhole_exits,
             kinds,
-            compromised,
+            malicious_set,
+            lie_angles,
             wormhole,
             seed,
-        })
+            mean_requesters: OnceLock::new(),
+            audible_offsets,
+            audible_targets,
+        });
+        Ok(Self::from_parts(topology, config))
+    }
+
+    /// Attaches the policy-determined state (compromised-beacon behaviour,
+    /// ID space) to a topology. Both `try_generate` and `with_policy` end
+    /// here, so the two construction routes are one code path and cannot
+    /// drift apart.
+    fn from_parts(topology: Arc<Topology>, config: SimConfig) -> Deployment {
+        let seed = topology.seed;
+        let strategy = BeaconStrategy::with_acceptance(config.attacker_p);
+        let mut compromised: Vec<Option<CompromisedBeacon>> = vec![None; config.nodes as usize];
+        for (&b, &angle) in topology.malicious_set.iter().zip(&topology.lie_angles) {
+            let offset = Vector2::from_angle(angle) * config.lie_offset_ft;
+            compromised[b as usize] = Some(CompromisedBeacon::new(
+                NodeId(b),
+                topology.index.position(b as usize),
+                offset,
+                strategy,
+                subseed(seed, &[b"beacon".as_slice(), &b.to_le_bytes()].concat()),
+            ));
+        }
+        let ids = IdSpace::new(config.beacons, config.non_beacons(), config.detecting_ids);
+        Deployment {
+            config,
+            ids,
+            topology,
+            compromised,
+            seed,
+        }
+    }
+
+    /// Re-keys this deployment under a new policy, sharing the immutable
+    /// topology behind the `Arc` instead of regenerating it. The result is
+    /// bit-identical to `Deployment::generate(config, self.seed())` — the
+    /// equivalence suite holds this as an invariant — but skips placement,
+    /// index construction, and the RNG work entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ConfigError::TopologyMismatch`] when `config` differs from
+    /// this deployment's config in any placement-determining field, plus
+    /// the usual validation errors.
+    pub fn with_policy(&self, config: SimConfig) -> Result<Deployment, crate::ConfigError> {
+        config.validate()?;
+        if config.topology_key() != self.config.topology_key() {
+            return Err(crate::ConfigError::TopologyMismatch);
+        }
+        Ok(Self::from_parts(Arc::clone(&self.topology), config))
+    }
+
+    /// Whether `self` and `other` share one topology allocation (as
+    /// produced by [`Deployment::with_policy`] or `Clone`).
+    pub fn shares_topology_with(&self, other: &Deployment) -> bool {
+        Arc::ptr_eq(&self.topology, &other.topology)
     }
 
     /// The configuration this deployment was generated from.
@@ -147,12 +256,12 @@ impl Deployment {
 
     /// Position of node `i`.
     pub fn position(&self, i: u32) -> Point2 {
-        self.index.position(i as usize)
+        self.topology.index.position(i as usize)
     }
 
     /// Omniscient node classification.
     pub fn kind(&self, i: u32) -> NodeKind {
-        self.kinds[i as usize]
+        self.topology.kinds[i as usize]
     }
 
     /// The compromised-beacon behaviour of node `i`, if it is malicious.
@@ -162,7 +271,7 @@ impl Deployment {
 
     /// The wormhole, if configured.
     pub fn wormhole(&self) -> Option<&Wormhole> {
-        self.wormhole.as_ref()
+        self.topology.wormhole.as_ref()
     }
 
     /// Indices of all nodes within radio range of node `i` (excluding `i`).
@@ -179,7 +288,8 @@ impl Deployment {
     pub fn neighbors_into(&self, i: u32, out: &mut Vec<u32>) {
         out.clear();
         out.extend(
-            self.index
+            self.topology
+                .index
                 .within_iter(self.position(i), self.config.range_ft)
                 .map(|v| v as u32),
         );
@@ -194,7 +304,8 @@ impl Deployment {
     pub fn beacons_in_range_into(&self, i: u32, out: &mut Vec<u32>) {
         out.clear();
         out.extend(
-            self.beacon_index
+            self.topology
+                .beacon_index
                 .within_iter(self.position(i), self.config.range_ft)
                 .map(|v| v as u32),
         );
@@ -206,13 +317,31 @@ impl Deployment {
     /// tunnel exit each signal emerges from, ascending by beacon index.
     /// Empty when no wormhole is configured.
     pub fn wormhole_exits(&self) -> &[(u32, Point2)] {
-        &self.wormhole_exits
+        &self.topology.wormhole_exits
+    }
+
+    /// Beacons node `i` can hear — direct neighbours (ascending) followed
+    /// by wormhole-carried benign beacons (ascending) — served from the
+    /// per-topology cache built at generation time. Shared by every policy
+    /// variant of the same deployment.
+    pub fn audible_beacons(&self, i: u32) -> &[u32] {
+        let t = &self.topology;
+        let lo = t.audible_offsets[i as usize] as usize;
+        let hi = t.audible_offsets[i as usize + 1] as usize;
+        &t.audible_targets[lo..hi]
+    }
+
+    /// Total audible-beacon pairs over nodes `lo..hi` — the exact event
+    /// count a phase scheduling one probe per audible pair will enqueue.
+    pub fn audible_pair_count(&self, lo: u32, hi: u32) -> usize {
+        let t = &self.topology;
+        (t.audible_offsets[hi as usize] - t.audible_offsets[lo as usize]) as usize
     }
 
     /// All beacon indices of a kind.
     pub fn beacons_of_kind(&self, kind: NodeKind) -> Vec<u32> {
         (0..self.config.beacons)
-            .filter(|&b| self.kinds[b as usize] == kind)
+            .filter(|&b| self.topology.kinds[b as usize] == kind)
             .collect()
     }
 
@@ -226,15 +355,20 @@ impl Deployment {
     pub fn mean_requesters_per_beacon(&self) -> f64 {
         // Counting (rather than materializing) the neighbour set gives the
         // same integer total without allocating per beacon; the -1 removes
-        // the beacon itself, which `count_within` includes.
-        let total: usize = (0..self.config.beacons)
-            .map(|b| {
-                self.index
-                    .count_within(self.position(b), self.config.range_ft)
-                    - 1
-            })
-            .sum();
-        total as f64 / self.config.beacons as f64
+        // the beacon itself, which `count_within` includes. The value is a
+        // pure function of the topology (counts, positions, range), so it
+        // is computed once and shared by every policy variant.
+        *self.topology.mean_requesters.get_or_init(|| {
+            let total: usize = (0..self.config.beacons)
+                .map(|b| {
+                    self.topology
+                        .index
+                        .count_within(self.position(b), self.config.range_ft)
+                        - 1
+                })
+                .sum();
+            total as f64 / self.config.beacons as f64
+        })
     }
 }
 
@@ -314,6 +448,7 @@ mod tests {
         let mut scratch = vec![u32::MAX; 7]; // stale garbage must be cleared
         for i in (0..300).step_by(19) {
             let expected: Vec<u32> = d
+                .topology
                 .index
                 .neighbors_of(i as usize, d.config.range_ft)
                 .into_iter()
@@ -399,6 +534,124 @@ mod tests {
         assert_eq!(d.ids().beacon_count(), 30);
         assert_eq!(d.ids().sensor_count(), 270);
         assert_eq!(d.ids().detecting_ids_per_beacon(), 8);
+    }
+
+    #[test]
+    fn with_policy_is_bit_identical_to_fresh_generation() {
+        let base = Deployment::generate(small_config(), 21);
+        let mut policy = small_config();
+        policy.tau = 4;
+        policy.tau_prime = 1;
+        policy.attacker_p = 0.9;
+        policy.lie_offset_ft = 450.0;
+        policy.detecting_ids = 3;
+        let rekeyed = base.with_policy(policy.clone()).expect("same topology");
+        let fresh = Deployment::generate(policy, 21);
+        assert!(base.shares_topology_with(&rekeyed));
+        assert!(!base.shares_topology_with(&fresh));
+        for i in 0..300u32 {
+            assert_eq!(rekeyed.position(i), fresh.position(i), "position {i}");
+            assert_eq!(rekeyed.kind(i), fresh.kind(i), "kind {i}");
+            match (rekeyed.compromised(i), fresh.compromised(i)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.declared_position(), b.declared_position());
+                    assert_eq!(a.true_position(), b.true_position());
+                    assert_eq!(a.id(), b.id());
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "node {i}"),
+            }
+        }
+        assert_eq!(rekeyed.wormhole_exits(), fresh.wormhole_exits());
+        assert_eq!(
+            rekeyed.ids().detecting_ids_per_beacon(),
+            fresh.ids().detecting_ids_per_beacon()
+        );
+        assert_eq!(rekeyed.config().tau, 4);
+    }
+
+    #[test]
+    fn with_policy_rejects_topology_changes() {
+        let base = Deployment::generate(small_config(), 22);
+        let mut moved = small_config();
+        moved.range_ft = 200.0;
+        moved.lie_offset_ft = 400.0; // keep the config itself valid
+        assert_eq!(
+            base.with_policy(moved).unwrap_err(),
+            crate::ConfigError::TopologyMismatch
+        );
+        let mut invalid = small_config();
+        invalid.attacker_p = 7.0;
+        assert!(matches!(
+            base.with_policy(invalid).unwrap_err(),
+            crate::ConfigError::ProbabilityOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn mean_requesters_cache_is_shared_and_stable() {
+        let d = Deployment::generate(small_config(), 23);
+        let first = d.mean_requesters_per_beacon();
+        let mut policy = small_config();
+        policy.tau = 9;
+        let rekeyed = d.with_policy(policy).unwrap();
+        assert_eq!(
+            first.to_bits(),
+            rekeyed.mean_requesters_per_beacon().to_bits()
+        );
+        assert_eq!(first.to_bits(), d.mean_requesters_per_beacon().to_bits());
+    }
+
+    #[test]
+    fn audible_cache_matches_direct_queries() {
+        // The CSR cache must reproduce exactly what an uncached query
+        // returns: beacon-index neighbours ascending, then wormhole-carried
+        // benign beacons ascending. Checked with and without a wormhole.
+        for wormhole in [true, false] {
+            let mut cfg = small_config();
+            if !wormhole {
+                cfg.wormhole = None;
+            }
+            let d = Deployment::generate(cfg.clone(), 31);
+            let mut direct: Vec<u32> = Vec::new();
+            let mut total = 0usize;
+            for i in 0..cfg.nodes {
+                d.beacons_in_range_into(i, &mut direct);
+                let my_pos = d.position(i);
+                for &(v, exit) in d.wormhole_exits() {
+                    if v == i {
+                        continue;
+                    }
+                    let vp = d.position(v);
+                    if my_pos.distance(vp) > cfg.range_ft && exit.distance(my_pos) <= cfg.range_ft {
+                        direct.push(v);
+                    }
+                }
+                assert_eq!(d.audible_beacons(i), direct.as_slice(), "node {i}");
+                total += direct.len();
+            }
+            assert_eq!(d.audible_pair_count(0, cfg.nodes), total);
+            assert_eq!(
+                d.audible_pair_count(cfg.beacons, cfg.nodes),
+                (cfg.beacons..cfg.nodes)
+                    .map(|i| d.audible_beacons(i).len())
+                    .sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn audible_cache_is_shared_across_policy_rekeys() {
+        let d = Deployment::generate(small_config(), 32);
+        let mut policy = small_config();
+        policy.tau = 5;
+        let rekeyed = d.with_policy(policy).unwrap();
+        for i in (0..300).step_by(41) {
+            assert_eq!(d.audible_beacons(i), rekeyed.audible_beacons(i));
+        }
+        assert!(std::ptr::eq(
+            d.audible_beacons(0).as_ptr(),
+            rekeyed.audible_beacons(0).as_ptr()
+        ));
     }
 
     #[test]

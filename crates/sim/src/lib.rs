@@ -57,7 +57,7 @@ pub use metrics::{average_outcomes, AggregateOutcome, SimOutcome};
 pub use orchestrator::{Orchestrator, SweepCell, SweepReport, SweepSpec};
 pub use probe::{ProbeContext, ProbeFaults, ProbeResult};
 pub use report::RunReport;
-pub use runner::{RunOptions, RunOutput, Runner};
+pub use runner::{ImpactMemo, ProbeStage, RunOptions, RunOutput, Runner};
 // Re-exported so sim callers can build fault plans without naming the
 // faults crate in their own manifest.
 pub use secloc_faults::FaultPlan;

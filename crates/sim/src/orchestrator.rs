@@ -39,7 +39,7 @@
 //! assert_eq!(report.outcomes.len(), 3);
 //! ```
 
-use crate::{RunOptions, Runner, SimConfig, SimOutcome};
+use crate::{ImpactMemo, RunOptions, Runner, SimConfig, SimOutcome};
 use secloc_obs::Obs;
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +66,24 @@ pub fn code_version_tag() -> String {
         env!("CARGO_PKG_VERSION"),
         OUTCOME_REVISION
     )
+}
+
+/// The current outcome revision — the `r{n}` component of
+/// [`code_version_tag`]. Derived artifacts (bench JSON, figure data) embed
+/// it so stale numbers are detectable against the cache-key convention.
+pub fn outcome_revision() -> u32 {
+    OUTCOME_REVISION
+}
+
+/// A stable 16-hex fingerprint of one configuration under the current
+/// code-version tag: the same FNV-1a-over-canonical-`Debug` convention as
+/// [`cell_key`], minus the seed. Benchmark and robustness reports carry it
+/// so a reader can tell which config (and code revision) produced them.
+pub fn config_fingerprint(config: &SimConfig) -> String {
+    CellKey(fnv1a(
+        format!("{config:?};tag={}", code_version_tag()).as_bytes(),
+    ))
+    .to_string()
 }
 
 /// A stable 64-bit content address for one sweep cell.
@@ -112,6 +130,71 @@ fn canonical_cell(config: &SimConfig, seed: u64, tag: &str) -> String {
 /// `tag` (normally [`code_version_tag`]).
 pub fn cell_key(config: &SimConfig, seed: u64, tag: &str) -> CellKey {
     CellKey(fnv1a(canonical_cell(config, seed, tag).as_bytes()))
+}
+
+/// The grouping key for probe-stage sharing: two cells with equal strings
+/// replay identical detection + location phases (phases 1–2), so one
+/// [`Runner::probe_stage`] serves both. It is the topology key and seed
+/// (which fix the deployment and every placement RNG stream) plus the
+/// policy knobs that reach the probe/localization phases — everything
+/// *outside* this string (τ, τ′, collusion, alert loss/retransmissions) is
+/// consumed only by the revocation and impact phases re-run per cell.
+fn probe_fingerprint(config: &SimConfig, seed: u64) -> String {
+    format!(
+        "{:?};seed={seed};max_ranging_error_ft={:?};detecting_ids={:?};\
+         wormhole_detection_rate={:?};attacker_p={:?};lie_offset_ft={:?}",
+        config.topology_key(),
+        config.max_ranging_error_ft,
+        config.detecting_ids,
+        config.wormhole_detection_rate,
+        config.attacker_p,
+        config.lie_offset_ft,
+    )
+}
+
+/// Runs one scheduling unit — a maximal run of pending cells sharing a
+/// probe fingerprint — and streams `(cell index, outcome)` over `tx`.
+/// Multi-cell units deploy once, snapshot the probe stage once, and replay
+/// only the revocation/impact phases per cell; the outcomes are
+/// bit-identical to fresh per-cell runs (see `Runner`'s staging tests and
+/// `tests/equivalence.rs`). `Err` means the receiver hung up.
+fn run_unit(
+    cells: &[SweepCell],
+    unit: &[usize],
+    tx: &mpsc::Sender<(usize, SimOutcome)>,
+) -> Result<(), ()> {
+    let first = unit[0];
+    if unit.len() == 1 {
+        let outcome = Runner::new(cells[first].config.clone(), cells[first].seed)
+            .run(RunOptions::new())
+            .outcome;
+        return tx.send((first, outcome)).map_err(drop);
+    }
+    let base = Runner::new(cells[first].config.clone(), cells[first].seed);
+    let stage = base.probe_stage();
+    // One impact memo per shared stage: cells whose revocation verdicts
+    // drop the same reference subsets share the re-estimation work.
+    let mut memo = ImpactMemo::new();
+    for &i in unit {
+        let outcome = if i == first {
+            base.finish_from_stage_memo(&stage, &mut memo)
+        } else {
+            match base.deployment().with_policy(cells[i].config.clone()) {
+                Ok(rekeyed) => {
+                    Runner::from_deployment(rekeyed).finish_from_stage_memo(&stage, &mut memo)
+                }
+                // Unreachable when the fingerprints matched, but a plain
+                // run is always a correct (if slower) answer.
+                Err(_) => {
+                    Runner::new(cells[i].config.clone(), cells[i].seed)
+                        .run(RunOptions::new())
+                        .outcome
+                }
+            }
+        };
+        tx.send((i, outcome)).map_err(drop)?;
+    }
+    Ok(())
 }
 
 /// One grid cell: a full configuration plus the seed that drives it.
@@ -497,18 +580,32 @@ pub struct SweepReport {
 
 /// The sweep engine. Configure with the builder methods, then [`run`]
 /// (`Orchestrator::run`) any number of [`SweepSpec`]s.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Orchestrator {
     workers: usize,
     cache_path: Option<PathBuf>,
     checkpoint_path: Option<PathBuf>,
     obs: Obs,
     tag: Option<String>,
+    sharing: bool,
+}
+
+impl Default for Orchestrator {
+    fn default() -> Self {
+        Orchestrator {
+            workers: 0,
+            cache_path: None,
+            checkpoint_path: None,
+            obs: Obs::default(),
+            tag: None,
+            sharing: true,
+        }
+    }
 }
 
 impl Orchestrator {
-    /// An orchestrator with automatic parallelism, no cache and no
-    /// checkpoint.
+    /// An orchestrator with automatic parallelism, probe-stage sharing on,
+    /// no cache and no checkpoint.
     pub fn new() -> Self {
         Orchestrator::default()
     }
@@ -548,6 +645,17 @@ impl Orchestrator {
     /// change invalidating a cache).
     pub fn tag(mut self, tag: impl Into<String>) -> Self {
         self.tag = Some(tag.into());
+        self
+    }
+
+    /// Enables or disables topology/probe-stage sharing (on by default).
+    /// Cells that agree on everything except revocation-policy knobs
+    /// deploy and probe once, then replay only the revocation/impact
+    /// phases per cell. Outcomes, cache entries and checkpoint bytes are
+    /// bit-identical either way — `sharing(false)` is the per-cell oracle
+    /// the benchmarks and equivalence tests compare against.
+    pub fn sharing(mut self, on: bool) -> Self {
+        self.sharing = on;
         self
     }
 
@@ -610,8 +718,28 @@ impl Orchestrator {
         self.obs.add("sweep.cells_cached", cache_hits as u64);
         self.obs.add("sweep.cells_executed", pending.len() as u64);
 
-        // 3. Shard the pending cells over the worker pool. Contiguous
-        //    chunks, never more workers than pending cells.
+        // 3. Fold the pending cells into scheduling units. With sharing
+        //    on, cells with the same probe fingerprint form one unit that
+        //    deploys + probes once (first-appearance order, so a pure
+        //    policy sweep stays in sweep order); with sharing off every
+        //    cell is its own unit. Units shard over the worker pool in
+        //    contiguous chunks, never more workers than units.
+        let units: Vec<Vec<usize>> = if self.sharing {
+            let mut by_fp: HashMap<String, usize> = HashMap::new();
+            let mut grouped: Vec<Vec<usize>> = Vec::new();
+            for &i in &pending {
+                let cell = &spec.cells()[i];
+                let fp = probe_fingerprint(&cell.config, cell.seed);
+                let slot = *by_fp.entry(fp).or_insert_with(|| {
+                    grouped.push(Vec::new());
+                    grouped.len() - 1
+                });
+                grouped[slot].push(i);
+            }
+            grouped
+        } else {
+            pending.iter().map(|&i| vec![i]).collect()
+        };
         let requested = if self.workers == 0 {
             thread::available_parallelism()
                 .map(|n| n.get())
@@ -619,7 +747,7 @@ impl Orchestrator {
         } else {
             self.workers
         };
-        let workers = requested.min(pending.len());
+        let workers = requested.min(units.len());
         self.obs.set_gauge("sweep.workers", workers as i64);
 
         // 4. Stream results: workers push (cell index, outcome); the main
@@ -676,21 +804,18 @@ impl Orchestrator {
             let expected = pending.len();
             let mut io_result: io::Result<()> = Ok(());
             thread::scope(|scope| {
-                let base = pending.len() / workers;
-                let extra = pending.len() % workers;
+                let base = units.len() / workers;
+                let extra = units.len() % workers;
                 let mut offset = 0usize;
                 for w in 0..workers {
                     let take = base + usize::from(w < extra);
-                    let chunk = &pending[offset..offset + take];
+                    let chunk = &units[offset..offset + take];
                     offset += take;
                     let tx = tx.clone();
                     let cells = spec.cells();
                     scope.spawn(move || {
-                        for &i in chunk {
-                            let outcome = Runner::new(cells[i].config.clone(), cells[i].seed)
-                                .run(RunOptions::new())
-                                .outcome;
-                            if tx.send((i, outcome)).is_err() {
+                        for unit in chunk {
+                            if run_unit(cells, unit, &tx).is_err() {
                                 return; // receiver bailed on an I/O error
                             }
                         }
@@ -810,6 +935,75 @@ mod tests {
             let direct = Runner::new(tiny(), seed).run(RunOptions::new()).outcome;
             assert_eq!(report.outcomes[i], direct, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn sharing_matches_fresh_runs_on_a_policy_grid() {
+        // A τ/τ′ revocation-policy grid over two seeds: 12 cells, but only
+        // two distinct probe fingerprints (one per seed).
+        let mut configs = Vec::new();
+        for tau in [1u32, 2, 3] {
+            for tau_prime in [1u32, 2] {
+                let mut c = tiny();
+                c.tau = tau;
+                c.tau_prime = tau_prime;
+                configs.push(c);
+            }
+        }
+        let spec = SweepSpec::product(&configs, &[5, 6]);
+        let shared = Orchestrator::new().workers(4).run(&spec).unwrap();
+        let fresh = Orchestrator::new()
+            .workers(4)
+            .sharing(false)
+            .run(&spec)
+            .unwrap();
+        assert_eq!(
+            shared.outcomes, fresh.outcomes,
+            "probe-stage sharing must be invisible in the results"
+        );
+        assert_eq!(
+            shared.workers_spawned, 2,
+            "one scheduling unit per probe fingerprint"
+        );
+        assert_eq!(fresh.workers_spawned, 4, "per-cell sharding when off");
+    }
+
+    #[test]
+    fn sharing_keeps_mixed_topology_grids_correct() {
+        // Cells that differ in topology (and thus can never share) mixed
+        // with policy-only variants of each.
+        let mut other_topo = tiny();
+        other_topo.beacons = 14;
+        let mut policy_variant = tiny();
+        policy_variant.alert_loss_rate = 0.35;
+        let spec = SweepSpec::product(&[tiny(), other_topo, policy_variant], &[9]);
+        let shared = Orchestrator::new().workers(2).run(&spec).unwrap();
+        let fresh = Orchestrator::new()
+            .workers(2)
+            .sharing(false)
+            .run(&spec)
+            .unwrap();
+        assert_eq!(shared.outcomes, fresh.outcomes);
+        assert_eq!(shared.workers_spawned, 2, "two probe fingerprints");
+    }
+
+    #[test]
+    fn fingerprints_follow_the_cell_key_convention() {
+        assert_eq!(
+            code_version_tag(),
+            format!(
+                "secloc-sim-{}+r{}",
+                env!("CARGO_PKG_VERSION"),
+                outcome_revision()
+            )
+        );
+        let fp = config_fingerprint(&tiny());
+        assert_eq!(fp.len(), 16, "16-hex like CellKey");
+        assert!(CellKey::parse(&fp).is_some());
+        assert_eq!(fp, config_fingerprint(&tiny()), "stable");
+        let mut other = tiny();
+        other.tau = tiny().tau + 1;
+        assert_ne!(fp, config_fingerprint(&other), "config-sensitive");
     }
 
     #[test]

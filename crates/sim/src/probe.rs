@@ -183,7 +183,11 @@ impl<'a> ProbeContext<'a> {
         let cfg = self.deployment.config();
         let rq_pos = self.deployment.position(requester);
         let tg_pos = self.deployment.position(target);
-        let direct = rq_pos.distance(tg_pos) <= cfg.range_ft;
+        // Computed once here and passed down: every reply needs the true
+        // requester-target distance, and recomputing it per branch was a
+        // measurable slice of the location phase.
+        let true_d = rq_pos.distance(tg_pos);
+        let direct = true_d <= cfg.range_ft;
 
         match self.deployment.kind(target) {
             NodeKind::Sensor => None, // sensors do not emit beacon signals
@@ -193,6 +197,7 @@ impl<'a> ProbeContext<'a> {
                 Some(self.malicious_reply(
                     rq_pos,
                     tg_pos,
+                    true_d,
                     beacon.declared_position(),
                     action,
                     fx,
@@ -202,12 +207,17 @@ impl<'a> ProbeContext<'a> {
             NodeKind::MaliciousBeacon => None,
             NodeKind::BenignBeacon => {
                 if direct {
-                    Some(self.benign_direct_reply(rq_pos, tg_pos, fx, rng))
+                    Some(self.benign_direct_reply(rq_pos, tg_pos, true_d, fx, rng))
                 } else {
-                    let exit = self
-                        .deployment
-                        .wormhole()
-                        .and_then(|w| w.exit_for(tg_pos, cfg.range_ft))
+                    // `Deployment::wormhole_exits` holds `exit_for` for
+                    // every benign beacon in a wormhole mouth, ascending by
+                    // index — a binary search replaces the per-probe
+                    // geometry with a lookup of the identical value.
+                    let exits = self.deployment.wormhole_exits();
+                    let exit = exits
+                        .binary_search_by_key(&target, |&(v, _)| v)
+                        .ok()
+                        .map(|at| exits[at].1)
                         .filter(|exit| exit.distance(rq_pos) <= cfg.range_ft)?;
                     Some(self.benign_wormhole_reply(requester, target, exit, fx, rng))
                 }
@@ -221,8 +231,8 @@ impl<'a> ProbeContext<'a> {
         action: Option<Action>,
         via_wormhole: bool,
     ) -> ProbeResult {
-        let outcome = self.pipeline.evaluate(&observation);
-        let accepted_for_localization = self.pipeline.accepts_for_localization(&observation);
+        let (outcome, accepted_for_localization) =
+            self.pipeline.evaluate_with_acceptance(&observation);
         if let Some(t) = &self.telemetry {
             t.pipeline.record_verdict(outcome);
             t.pipeline.record_localization(accepted_for_localization);
@@ -252,10 +262,10 @@ impl<'a> ProbeContext<'a> {
         &self,
         rq: Point2,
         tg: Point2,
+        d: f64,
         fx: &ProbeFaults,
         rng: &mut StdRng,
     ) -> ProbeResult {
-        let d = rq.distance(tg);
         let obs = Observation {
             detector_position: rq,
             declared_position: tg,
@@ -294,17 +304,18 @@ impl<'a> ProbeContext<'a> {
         self.finish(obs, None, true)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn malicious_reply(
         &self,
         rq: Point2,
         tg: Point2,
+        true_d: f64,
         lie: Point2,
         action: Action,
         fx: &ProbeFaults,
         rng: &mut StdRng,
     ) -> ProbeResult {
         let cfg = self.deployment.config();
-        let true_d = rq.distance(tg);
         let obs = match action {
             Action::Normal => Observation {
                 // Indistinguishable from an honest beacon.

@@ -30,6 +30,68 @@ struct KeptReference {
     reference: LocationReference,
 }
 
+/// Everything phases 1–2 produce that the revocation/impact phases
+/// consume, plus the `order_rng` state at phase-3 entry. A `StageCore` is
+/// a pure function of the deployment, the seed, and the probe-relevant
+/// config fields — the revocation knobs (τ, τ′, collusion, alert-channel
+/// parameters) have not been read yet when it is captured.
+#[derive(Debug)]
+struct StageCore {
+    detectors: Vec<u32>,
+    benign_alerts: Vec<Alert>,
+    kept: Vec<Vec<KeptReference>>,
+    poisoned: Vec<Vec<u32>>,
+    order_rng: StdRng,
+    churn: Option<ChurnSchedule>,
+}
+
+/// The τ-independent slice of the impact phase: each sensor's clamped
+/// pre-revocation localization-error contribution, with the running sum in
+/// sensor order. Revocation can only *remove* references, so per policy
+/// cell only sensors that actually lost one need re-estimation.
+#[derive(Debug)]
+struct ImpactPrecompute {
+    /// Indexed by node; `None` when the sensor could not be estimated.
+    before: Vec<Option<f64>>,
+    sum_b: f64,
+    n_b: usize,
+}
+
+/// A snapshot of the probe stage (detection + location discovery) of a
+/// plain optimized run, reusable by every sweep cell that shares the
+/// deployment and the probe-relevant policy fields. Produced by
+/// [`Runner::probe_stage`], consumed by [`Runner::finish_from_stage`].
+#[derive(Debug)]
+pub struct ProbeStage {
+    core: StageCore,
+    impact: ImpactPrecompute,
+}
+
+/// Cross-cell cache for [`Runner::finish_from_stage_memo`]: each sensor's
+/// post-revocation error contribution, keyed by *which* of its kept
+/// references revocation dropped (a bitmask over the kept list in order).
+///
+/// The contribution is a pure function of (topology, kept list, dropped
+/// subset), and every cell sharing one [`ProbeStage`] shares the first two
+/// — so policy cells whose revocation verdicts overlap re-solve each
+/// sensor at most once per distinct dropped subset, and the memo cannot
+/// change any outcome. A memo is only valid for the stage it was grown
+/// against; use a fresh one per shared stage.
+#[derive(Debug, Default)]
+pub struct ImpactMemo {
+    /// Indexed by node; each entry is the (dropped-mask, contribution)
+    /// pairs seen so far, few enough per sensor for linear scans to beat
+    /// hashing.
+    per_sensor: Vec<Vec<(u64, Option<f64>)>>,
+}
+
+impl ImpactMemo {
+    /// An empty memo; grows to the node count on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// How to run one experiment: tracing, telemetry, the reference (pre-
 /// optimization) path, and fault injection, all opt-in.
 ///
@@ -171,6 +233,15 @@ impl Runner {
         Runner { deployment, seed }
     }
 
+    /// Wraps an already-built deployment — e.g. one re-keyed via
+    /// [`Deployment::with_policy`] — in a runner. Equivalent to
+    /// `Runner::new(deployment.config().clone(), deployment.seed())`
+    /// without regenerating anything.
+    pub fn from_deployment(deployment: Deployment) -> Self {
+        let seed = deployment.seed();
+        Runner { deployment, seed }
+    }
+
     /// The underlying deployment (for inspection and plotting).
     pub fn deployment(&self) -> &Deployment {
         &self.deployment
@@ -192,8 +263,79 @@ impl Runner {
         }
     }
 
+    /// Runs phases 1–2 (detection + location discovery) of a plain
+    /// optimized run — config fault plan, no trace, no telemetry — and
+    /// snapshots everything the remaining phases need, including the
+    /// τ-independent impact precompute.
+    ///
+    /// The snapshot is a pure function of `(topology, seed)` plus the
+    /// probe-relevant policy fields (ε_max, `m`, `p_d`, `attacker_p`,
+    /// `lie_offset_ft`); the revocation knobs (τ, τ′, collusion, alert
+    /// loss/retransmissions) are untouched, so one stage serves every cell
+    /// of a revocation-axis sweep via [`Runner::finish_from_stage`].
+    pub fn probe_stage(&self) -> ProbeStage {
+        let disabled = Obs::disabled();
+        let plan = self.deployment.config().faults.clone();
+        let core = self.stage_phases(&disabled, true, &plan);
+        let impact = self.impact_precompute(&core);
+        ProbeStage { core, impact }
+    }
+
+    /// Completes a plain optimized run from a shared probe-stage snapshot:
+    /// bit-identical to `self.run(RunOptions::new()).outcome` when `stage`
+    /// came from a runner agreeing with `self` on the seed, the topology,
+    /// and every probe-relevant policy field (the equivalence suite is the
+    /// oracle). Only the revocation and impact phases execute.
+    pub fn finish_from_stage(&self, stage: &ProbeStage) -> SimOutcome {
+        self.finish_from_stage_inner(stage, None)
+    }
+
+    /// [`Runner::finish_from_stage`] with a cross-cell [`ImpactMemo`]:
+    /// bit-identical outcomes (the memo caches pure-function results), but
+    /// sensors whose dropped-reference subset repeats across the cells of
+    /// one shared stage are re-estimated only once. The memo must be fresh
+    /// for each distinct [`ProbeStage`].
+    pub fn finish_from_stage_memo(&self, stage: &ProbeStage, memo: &mut ImpactMemo) -> SimOutcome {
+        self.finish_from_stage_inner(stage, Some(memo))
+    }
+
+    fn finish_from_stage_inner(
+        &self,
+        stage: &ProbeStage,
+        memo: Option<&mut ImpactMemo>,
+    ) -> SimOutcome {
+        let disabled = Obs::disabled();
+        let plan = self.deployment.config().faults.clone();
+        let (outcome, _) = self.finish_phases(
+            &disabled,
+            true,
+            &plan,
+            &stage.core,
+            stage.core.benign_alerts.clone(),
+            stage.core.order_rng.clone(),
+            Some(&stage.impact),
+            memo,
+        );
+        outcome
+    }
+
     fn run_impl(&self, telemetry: &Obs, optimized: bool, plan: &FaultPlan) -> (SimOutcome, Trace) {
-        let mut trace = Trace::new();
+        let mut core = self.stage_phases(telemetry, optimized, plan);
+        let benign_alerts = std::mem::take(&mut core.benign_alerts);
+        let order_rng = core.order_rng.clone();
+        self.finish_phases(
+            telemetry,
+            optimized,
+            plan,
+            &core,
+            benign_alerts,
+            order_rng,
+            None,
+            None,
+        )
+    }
+
+    fn stage_phases(&self, telemetry: &Obs, optimized: bool, plan: &FaultPlan) -> StageCore {
         let d = &self.deployment;
         let cfg = d.config();
         let ctx = ProbeContext::with_obs(d, telemetry);
@@ -247,17 +389,25 @@ impl Runner {
         telemetry.emit("phase", &[("name", Value::Str("detection".to_string()))]);
         let detection_span = telemetry.span("phase.detection");
         let detectors = d.beacons_of_kind(NodeKind::BenignBeacon);
-        // Scratch buffer reused for every audible-beacon query in the run.
-        let mut audible: Vec<u32> = Vec::new();
-        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
+        // Scratch for the reference-path audible queries; the optimized
+        // path reads the topology's precomputed CSR cache instead of
+        // querying at all.
+        let mut audible: Vec<u32>;
+        let mut queue: EventQueue<(u32, u32)> = if optimized {
+            EventQueue::with_capacity(detectors.iter().map(|&u| d.audible_beacons(u).len()).sum())
+        } else {
+            EventQueue::new()
+        };
         for &u in &detectors {
             if optimized {
-                self.audible_beacons_into(u, &mut audible);
+                for &v in d.audible_beacons(u) {
+                    queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (u, v));
+                }
             } else {
                 audible = self.audible_beacons(u);
-            }
-            for &v in &audible {
-                queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (u, v));
+                for &v in &audible {
+                    queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (u, v));
+                }
             }
         }
         let mut benign_alerts: Vec<Alert> = Vec::new();
@@ -305,15 +455,21 @@ impl Runner {
         // ---- Phase 2: location discovery by sensors. ------------------
         telemetry.emit("phase", &[("name", Value::Str("location".to_string()))]);
         let location_span = telemetry.span("phase.location");
-        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
+        let mut queue: EventQueue<(u32, u32)> = if optimized {
+            EventQueue::with_capacity(d.audible_pair_count(cfg.beacons, cfg.nodes))
+        } else {
+            EventQueue::new()
+        };
         for w in d.sensors() {
             if optimized {
-                self.audible_beacons_into(w, &mut audible);
+                for &v in d.audible_beacons(w) {
+                    queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (w, v));
+                }
             } else {
                 audible = self.audible_beacons(w);
-            }
-            for &v in &audible {
-                queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (w, v));
+                for &v in &audible {
+                    queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (w, v));
+                }
             }
         }
         let mut kept: Vec<Vec<KeptReference>> = vec![Vec::new(); cfg.nodes as usize];
@@ -380,6 +536,70 @@ impl Runner {
             telemetry.add("faults.drift.skewed", drift_skewed);
         }
         location_span.finish();
+
+        StageCore {
+            detectors,
+            benign_alerts,
+            kept,
+            poisoned,
+            order_rng,
+            churn,
+        }
+    }
+
+    /// The τ-independent slice of the impact phase, accumulated in sensor
+    /// order with exactly the float operations of the in-run single-pass
+    /// computation (so a shared-stage mean is bit-identical to a fresh
+    /// run's).
+    fn impact_precompute(&self, core: &StageCore) -> ImpactPrecompute {
+        let d = &self.deployment;
+        let cfg = d.config();
+        let estimator = MmseEstimator::default();
+        let field = secloc_geometry::Field::square(cfg.field_side_ft);
+        let mut before: Vec<Option<f64>> = vec![None; cfg.nodes as usize];
+        let (mut sum_b, mut n_b) = (0.0f64, 0usize);
+        let mut refs: Vec<LocationReference> = Vec::new();
+        for w in d.sensors() {
+            refs.clear();
+            refs.extend(core.kept[w as usize].iter().map(|k| k.reference));
+            if refs.len() < estimator.min_references() {
+                continue;
+            }
+            if let Ok(est) = estimator.estimate(&refs) {
+                let c = field.clamp(est.position).distance(d.position(w));
+                before[w as usize] = Some(c);
+                sum_b += c;
+                n_b += 1;
+            }
+        }
+        ImpactPrecompute { before, sum_b, n_b }
+    }
+
+    /// Phases 3a–4. `core` supplies the probe-stage snapshot;
+    /// `benign_alerts` and `order_rng` are owned copies because phase 3a
+    /// shuffles the former and advances the latter. With `shared` set, the
+    /// impact phase reuses the τ-independent precompute and re-estimates
+    /// only sensors that lost a reference to revocation.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_phases(
+        &self,
+        telemetry: &Obs,
+        optimized: bool,
+        plan: &FaultPlan,
+        core: &StageCore,
+        benign_alerts: Vec<Alert>,
+        mut order_rng: StdRng,
+        shared: Option<&ImpactPrecompute>,
+        memo: Option<&mut ImpactMemo>,
+    ) -> (SimOutcome, Trace) {
+        let mut trace = Trace::new();
+        let d = &self.deployment;
+        let cfg = d.config();
+        let churn = &core.churn;
+        let detectors = &core.detectors;
+        let kept = &core.kept;
+        let poisoned = &core.poisoned;
+        let mut benign_alerts = benign_alerts;
 
         // ---- Phase 3a: alert delivery over the lossy report channel. ---
         // Alerts cross a lossy multi-hop path; the paper assumes
@@ -582,10 +802,87 @@ impl Runner {
                 (n_a > 0).then(|| sum_a / n_a as f64),
             )
         };
-        let (err_before, err_after) = if optimized {
-            mean_errors_single_pass()
-        } else {
-            (mean_error(false), mean_error(true))
+        let (err_before, err_after) = match shared {
+            // Shared-stage path: the pre-revocation contributions were
+            // accumulated once per probe stage in the same sensor order;
+            // only sensors that actually lost a reference to revocation
+            // are re-estimated here. Revocation state is materialized as a
+            // bitmap so the inner loops avoid per-reference hash lookups.
+            Some(pre) => {
+                let revoked: Vec<bool> = (0..cfg.beacons)
+                    .map(|b| station.is_revoked(NodeId(b)))
+                    .collect();
+                let (mut sum_a, mut n_a) = (0.0f64, 0usize);
+                let mut refs_kept: Vec<LocationReference> = Vec::new();
+                let mut memo = memo;
+                if let Some(m) = memo.as_deref_mut() {
+                    if m.per_sensor.len() < cfg.nodes as usize {
+                        m.per_sensor.resize(cfg.nodes as usize, Vec::new());
+                    }
+                }
+                for w in d.sensors() {
+                    let ks = &kept[w as usize];
+                    // Which kept references revocation dropped, as a mask
+                    // over the list (None when it doesn't fit in 64 bits
+                    // and at least one reference was dropped).
+                    let dropped: Option<u64> = if ks.len() <= 64 {
+                        let mut m = 0u64;
+                        for (j, k) in ks.iter().enumerate() {
+                            if revoked[k.beacon as usize] {
+                                m |= 1 << j;
+                            }
+                        }
+                        Some(m)
+                    } else if ks.iter().all(|k| !revoked[k.beacon as usize]) {
+                        Some(0)
+                    } else {
+                        None
+                    };
+                    let solve = |refs_kept: &mut Vec<LocationReference>| {
+                        refs_kept.clear();
+                        refs_kept.extend(
+                            ks.iter()
+                                .filter(|k| !revoked[k.beacon as usize])
+                                .map(|k| k.reference),
+                        );
+                        if refs_kept.len() >= estimator.min_references() {
+                            estimator
+                                .estimate(refs_kept)
+                                .ok()
+                                .map(|est| field.clamp(est.position).distance(d.position(w)))
+                        } else {
+                            None
+                        }
+                    };
+                    let contribution = match (dropped, memo.as_deref_mut()) {
+                        // Nothing dropped: identical inputs, reuse the
+                        // shared pre-revocation estimate.
+                        (Some(0), _) => pre.before[w as usize],
+                        (Some(mask), Some(m)) => {
+                            let entries = &mut m.per_sensor[w as usize];
+                            match entries.iter().find(|&&(key, _)| key == mask) {
+                                Some(&(_, c)) => c,
+                                None => {
+                                    let c = solve(&mut refs_kept);
+                                    entries.push((mask, c));
+                                    c
+                                }
+                            }
+                        }
+                        _ => solve(&mut refs_kept),
+                    };
+                    if let Some(c) = contribution {
+                        sum_a += c;
+                        n_a += 1;
+                    }
+                }
+                (
+                    (pre.n_b > 0).then(|| pre.sum_b / pre.n_b as f64),
+                    (n_a > 0).then(|| sum_a / n_a as f64),
+                )
+            }
+            None if optimized => mean_errors_single_pass(),
+            None => (mean_error(false), mean_error(true)),
         };
 
         let outcome = SimOutcome {
@@ -636,7 +933,8 @@ impl Runner {
     ///
     /// Pre-optimization version: allocates the result and scans every
     /// beacon for wormhole reachability. Used only by the reference path;
-    /// the optimized run uses [`Runner::audible_beacons_into`].
+    /// the optimized run reads the precomputed per-topology cache via
+    /// [`Deployment::audible_beacons`].
     fn audible_beacons(&self, node: u32) -> Vec<u32> {
         let d = &self.deployment;
         let cfg = d.config();
@@ -658,29 +956,6 @@ impl Runner {
             }
         }
         targets
-    }
-
-    /// Allocation-free [`Runner::audible_beacons`]: clears `out` and
-    /// fills it with the same beacons in the same order — direct
-    /// neighbours ascending (from the beacon-only index), then
-    /// wormhole-carried benign beacons ascending (from the precomputed
-    /// exit list).
-    fn audible_beacons_into(&self, node: u32, out: &mut Vec<u32>) {
-        let d = &self.deployment;
-        let cfg = d.config();
-        d.beacons_in_range_into(node, out);
-        if !d.wormhole_exits().is_empty() {
-            let my_pos = d.position(node);
-            for &(v, exit) in d.wormhole_exits() {
-                if v == node {
-                    continue;
-                }
-                let vp = d.position(v);
-                if my_pos.distance(vp) > cfg.range_ft && exit.distance(my_pos) <= cfg.range_ft {
-                    out.push(v);
-                }
-            }
-        }
     }
 }
 
@@ -761,6 +1036,46 @@ mod tests {
         assert_eq!(a.outcome, b.outcome);
         let reference = r.run(RunOptions::new().reference().faults(plan));
         assert_eq!(reference.outcome, a.outcome);
+    }
+
+    #[test]
+    fn shared_probe_stage_matches_plain_runs_across_revocation_policies() {
+        let base_cfg = small_cfg(0.6);
+        let base = Runner::new(base_cfg.clone(), 17);
+        let stage = base.probe_stage();
+        for (tau, tau_prime, collusion, loss, retx) in [
+            (2, 2, true, 0.1, 8),
+            (1, 1, true, 0.1, 8),
+            (3, 4, true, 0.3, 2),
+            (2, 2, false, 0.0, 1),
+            (5, 1, true, 0.9, 16),
+        ] {
+            let mut cfg = base_cfg.clone();
+            cfg.tau = tau;
+            cfg.tau_prime = tau_prime;
+            cfg.collusion = collusion;
+            cfg.alert_loss_rate = loss;
+            cfg.alert_retransmissions = retx;
+            let cell = Runner::from_deployment(
+                base.deployment().with_policy(cfg.clone()).expect("policy"),
+            );
+            let staged = cell.finish_from_stage(&stage);
+            let fresh = Runner::new(cfg, 17).run(RunOptions::new()).outcome;
+            assert_eq!(staged, fresh, "tau={tau} tau'={tau_prime}");
+        }
+    }
+
+    #[test]
+    fn probe_stage_respects_config_fault_plan() {
+        let mut cfg = small_cfg(0.6);
+        cfg.faults = FaultPlan::default()
+            .with_clock_drift(800)
+            .with_churn(ChurnSpec::random(0.2, 0.5));
+        let r = Runner::new(cfg.clone(), 31);
+        let stage = r.probe_stage();
+        let staged = r.finish_from_stage(&stage);
+        let plain = r.run(RunOptions::new()).outcome;
+        assert_eq!(staged, plain);
     }
 
     #[test]

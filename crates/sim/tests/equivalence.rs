@@ -12,9 +12,10 @@
 //! bits — from a run of the pre-fault simulator, and the deprecated
 //! `Experiment` wrappers still produce the same outcomes as `Runner`.
 
+use proptest::prelude::*;
 use secloc_faults::{BurstLossSpec, ChurnSpec, NoiseRegion, Outage};
 use secloc_geometry::Point2;
-use secloc_sim::{Experiment, FaultPlan, RunOptions, Runner, SimConfig};
+use secloc_sim::{Experiment, FaultPlan, Orchestrator, RunOptions, Runner, SimConfig, SweepSpec};
 
 fn base() -> SimConfig {
     SimConfig {
@@ -174,6 +175,93 @@ fn faulted_runs_match_reference_across_fault_categories() {
                 "faulted paths diverged: {name}, seed {seed}"
             );
         }
+    }
+}
+
+/// One randomized policy variant layered on a fixed topology. The
+/// revocation knobs always vary; `probe_sel` sometimes also varies the
+/// probe-relevant fields, so the generated grids mix cells that can share
+/// a probe stage with cells that cannot — both orchestrator scheduling
+/// shapes are exercised.
+fn policy_variant() -> impl Strategy<Value = (u32, u32, f64, bool, u8)> {
+    (1u32..4, 0u32..3, 0.0..0.4f64, any::<bool>(), 0u8..3)
+}
+
+/// The fault plans the sharing property must hold under: sharing groups by
+/// `(topology_key, seed)` and the fault plan is a topology field, so every
+/// policy variant replays the same injected degradations.
+fn fault_plan(selector: u8) -> FaultPlan {
+    match selector {
+        0 => FaultPlan::default(),
+        1 => FaultPlan::default().with_churn(ChurnSpec::random(0.2, 0.5)),
+        _ => FaultPlan::default()
+            .with_noise_region(NoiseRegion::whole_field(1000.0, 1.5))
+            .with_clock_drift(500),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole invariant: a topology-sharing sweep — deployment and
+    /// probe stage built once per `(topology_key, seed)` group, policy
+    /// variants finished from the shared state — is bit-identical to
+    /// building every cell from scratch, for randomized policy grids and
+    /// under non-empty fault plans.
+    #[test]
+    fn shared_topology_sweep_is_bit_identical_to_fresh_runs(
+        nodes in 200u32..350,
+        beacons in 10u32..30,
+        wormhole in any::<bool>(),
+        faults_sel in 0u8..3,
+        variants in proptest::collection::vec(policy_variant(), 2..5),
+        seed in 0u64..100,
+    ) {
+        let base = SimConfig {
+            nodes,
+            beacons,
+            malicious: beacons / 4,
+            wormhole: if wormhole {
+                SimConfig::paper_default().wormhole
+            } else {
+                None
+            },
+            faults: fault_plan(faults_sel),
+            ..SimConfig::paper_default()
+        };
+        let configs: Vec<SimConfig> = variants
+            .into_iter()
+            .map(|(tau, tau_prime, alert_loss_rate, collusion, probe_sel)| {
+                let mut c = SimConfig {
+                    tau,
+                    tau_prime,
+                    alert_loss_rate,
+                    collusion,
+                    ..base.clone()
+                };
+                match probe_sel {
+                    0 => {}
+                    1 => c.detecting_ids += 2,
+                    _ => {
+                        c.attacker_p = 0.8;
+                        c.max_ranging_error_ft = 20.0;
+                    }
+                }
+                c
+            })
+            .collect();
+        let spec = SweepSpec::product(&configs, &[seed, seed + 1]);
+        let shared = Orchestrator::new()
+            .workers(2)
+            .sharing(true)
+            .run(&spec)
+            .expect("shared sweep");
+        let fresh = Orchestrator::new()
+            .workers(2)
+            .sharing(false)
+            .run(&spec)
+            .expect("fresh sweep");
+        prop_assert_eq!(shared.outcomes, fresh.outcomes);
     }
 }
 
