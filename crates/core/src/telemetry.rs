@@ -58,31 +58,49 @@ impl PipelineMetrics {
     /// looking signals reach the wormhole filter, only its survivors reach
     /// the RTT filter).
     pub fn record_verdict(&self, outcome: DetectionOutcome) {
+        self.add_verdicts(outcome, 1);
+    }
+
+    /// Records `n` identical final verdicts with one update per counter —
+    /// the bulk form of [`PipelineMetrics::record_verdict`] for callers
+    /// that tally a hot loop locally and flush once.
+    pub fn add_verdicts(&self, outcome: DetectionOutcome, n: u64) {
+        if n == 0 {
+            return;
+        }
         match outcome {
-            DetectionOutcome::Benign => self.verdict_benign.incr(),
+            DetectionOutcome::Benign => self.verdict_benign.add(n),
             DetectionOutcome::IgnoredWormholeReplay => {
-                self.verdict_wormhole_replay.incr();
-                self.wormhole_replay.incr();
+                self.verdict_wormhole_replay.add(n);
+                self.wormhole_replay.add(n);
             }
             DetectionOutcome::IgnoredLocalReplay => {
-                self.verdict_local_replay.incr();
-                self.wormhole_proceed.incr();
-                self.rtt_local_replay.incr();
+                self.verdict_local_replay.add(n);
+                self.wormhole_proceed.add(n);
+                self.rtt_local_replay.add(n);
             }
             DetectionOutcome::Alert => {
-                self.verdict_alert.incr();
-                self.wormhole_proceed.incr();
-                self.rtt_fresh.incr();
+                self.verdict_alert.add(n);
+                self.wormhole_proceed.add(n);
+                self.rtt_fresh.add(n);
             }
         }
     }
 
     /// Records whether a non-beacon requester kept the signal.
     pub fn record_localization(&self, accepted: bool) {
+        self.add_localizations(accepted, 1);
+    }
+
+    /// Bulk form of [`PipelineMetrics::record_localization`].
+    pub fn add_localizations(&self, accepted: bool, n: u64) {
+        if n == 0 {
+            return;
+        }
         if accepted {
-            self.localization_accepted.incr();
+            self.localization_accepted.add(n);
         } else {
-            self.localization_rejected.incr();
+            self.localization_rejected.add(n);
         }
     }
 }

@@ -1,10 +1,21 @@
-//! Hand-rolled JSON string escaping (no serde in the workspace).
+//! Hand-rolled JSON: string escaping plus a small recursive-descent
+//! parser (no serde in the workspace).
+//!
+//! The escaping side has been audited against RFC 8259: every control
+//! character below `0x20` is escaped (`\n`, `\r`, `\t`, `\b`, `\f` get
+//! their short forms, the rest `\u00XX`), quotes and backslashes are
+//! escaped, and non-finite floats — which JSON cannot represent — are
+//! emitted as `null`. The parser exists so consumers (the event-schema
+//! linter, the perf-trend tool, the round-trip proptest) can read what the
+//! writers produce without external dependencies; it accepts exactly RFC
+//! 8259 JSON and preserves number text verbatim, so `u64` values above
+//! 2^53 survive a round trip.
 
 use std::fmt::Write as _;
 
 /// Appends `s` to `out` as a quoted JSON string, escaping control
 /// characters, quotes and backslashes per RFC 8259.
-pub(crate) fn push_json_string(out: &mut String, s: &str) {
+pub fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -26,11 +37,393 @@ pub(crate) fn push_json_string(out: &mut String, s: &str) {
 
 /// Appends `value` to `out` as a JSON number. Non-finite floats, which JSON
 /// cannot represent, are emitted as `null`.
-pub(crate) fn push_json_f64(out: &mut String, value: f64) {
+pub fn push_json_f64(out: &mut String, value: f64) {
     if value.is_finite() {
+        // Rust's float Display prints the shortest string that parses back
+        // to the same bits, so encode → decode round-trips losslessly.
         let _ = write!(out, "{value}");
     } else {
         out.push_str("null");
+    }
+}
+
+/// A JSON number, kept as its source text so integer precision beyond
+/// `f64`'s 53-bit mantissa is never silently lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonNumber(String);
+
+impl JsonNumber {
+    /// The raw number text as it appeared in the document.
+    pub fn raw(&self) -> &str {
+        &self.0
+    }
+
+    /// The number as `f64` (always succeeds for valid JSON numbers,
+    /// possibly with rounding).
+    pub fn as_f64(&self) -> f64 {
+        self.0.parse().unwrap_or(f64::NAN)
+    }
+
+    /// The number as `u64`, when it is an exact non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0.parse().ok()
+    }
+
+    /// The number as `i64`, when it is an exact integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0.parse().ok()
+    }
+}
+
+/// A parsed JSON value. Objects preserve member order (and duplicates, so
+/// a linter can flag them); numbers preserve their source text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as text (see [`JsonNumber`]).
+    Number(JsonNumber),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object: ordered `(key, value)` members.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Why a document failed to parse: a message and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// The member named `key`, for objects (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Follows a path of object keys.
+    pub fn pointer(&self, path: &[&str]) -> Option<&JsonValue> {
+        path.iter().try_fold(self, |v, key| v.get(key))
+    }
+
+    /// The string payload, for strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, for numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as exact `u64`, for integral numbers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, for booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, for arrays.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered members, for objects.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes copied as one str slice.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it is a &str) and the run
+                // breaks only at ASCII bytes, so the slice is valid too.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&first) {
+                                return Err(self.error("lone low surrogate"));
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                        }
+                        _ => return Err(self.error("invalid escape character")),
+                    }
+                }
+                Some(_) => return Err(self.error("unescaped control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("non-ASCII in \\u escape"))?;
+        let value =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("non-hex in \\u escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.error("expected digits in number"));
+        }
+        // Leading zeros are invalid JSON ("01"), a bare "0" is fine.
+        if self.bytes[digits_from] == b'0' && self.pos - digits_from > 1 {
+            return Err(self.error("leading zero in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.error("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(JsonValue::Number(JsonNumber(text.to_string())))
     }
 }
 
@@ -75,5 +468,92 @@ mod tests {
         out.push(',');
         push_json_f64(&mut out, 1.5);
         assert_eq!(out, "null,null,1.5");
+    }
+
+    #[test]
+    fn parser_handles_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::String("hi".into())
+        );
+        assert_eq!(JsonValue::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(JsonValue::parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+    }
+
+    #[test]
+    fn parser_preserves_u64_precision() {
+        let v = JsonValue::parse(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_order() {
+        let v = JsonValue::parse(r#"{"a":[1,{"b":"c"}],"d":null}"#).unwrap();
+        assert_eq!(v.pointer(&["a"]).unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.pointer(&["a"])
+                .and_then(|a| a.as_array())
+                .and_then(|a| a[1].get("b"))
+                .and_then(|b| b.as_str()),
+            Some("c")
+        );
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "a");
+        assert_eq!(members[1].0, "d");
+    }
+
+    #[test]
+    fn parser_unescapes_strings() {
+        let v = JsonValue::parse(r#""a\n\t\"\\\u0041\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\Aé"));
+        // Surrogate pair: 🚀 is U+1F680.
+        let v = JsonValue::parse(r#""\ud83d\ude80""#).unwrap();
+        assert_eq!(v.as_str(), Some("🚀"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[1]]",
+            "nullx",
+            "\"\u{01}\"",
+            r#""\ud83d""#,
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_parser() {
+        for s in [
+            "",
+            "plain",
+            "a\"b\\c",
+            "line\none\r\ttwo",
+            "\u{08}\u{0C}\u{01}\u{1f}",
+            "τ′ → β 🚀",
+            "ends with backslash \\",
+        ] {
+            let doc = escaped(s);
+            assert_eq!(
+                JsonValue::parse(&doc).unwrap(),
+                JsonValue::String(s.to_string()),
+                "round-trip failed for {s:?}"
+            );
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! The paper's claims are rates measured over noisy pipelines — detection
 //! rate, false positives, N′ — and tuning them at production scale needs
 //! visibility *inside* a run, not just the end-of-run outcome. This crate
-//! supplies that visibility with three building blocks, none of which pull
+//! supplies that visibility with four building blocks, none of which pull
 //! in external dependencies (the build environment is offline):
 //!
 //! - [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and fixed-bucket
@@ -11,9 +11,13 @@
 //!   handles, safe to update from hot paths;
 //! - [`Span`] / [`Stopwatch`] — wall-clock phase timing that lands in
 //!   histograms and events;
-//! - [`EventSink`] — structured event export, with a JSONL file sink
-//!   ([`JsonlSink`]), an in-memory sink for tests ([`MemorySink`]), and
-//!   hand-rolled JSON escaping (no serde).
+//! - [`EventSink`] — structured event export with a JSONL file sink
+//!   ([`JsonlSink`]), an in-memory sink for tests ([`MemorySink`]), a
+//!   bounded post-mortem ring ([`FlightRecorder`]), a broadcast combinator
+//!   ([`FanoutSink`]) and hand-rolled JSON (module [`json`], no serde);
+//! - [`health`] — pluggable detectors over the event stream (stalled
+//!   streams, counter anomalies, cache-hit collapse, checkpoint gaps)
+//!   surfaced as `health.*` events.
 //!
 //! The [`Obs`] facade bundles an optional registry with an optional sink so
 //! instrumented code pays almost nothing when observability is off:
@@ -36,21 +40,57 @@
 //! let off = Obs::disabled();
 //! off.incr("demo.widgets"); // no-op
 //! ```
+//!
+//! ## Tracing
+//!
+//! [`Obs::scoped`] returns a facade stamped with a [`SpanContext`] and a set
+//! of standard fields (in the sweep: the cell key and seed). Every event the
+//! scoped facade emits carries the trace coordinates plus those fields, so
+//! a JSONL stream from a thousand-cell sweep can be sliced back into
+//! per-cell narratives:
+//!
+//! ```
+//! use secloc_obs::{MemorySink, Obs, SpanContext, Value};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let obs = Obs::with_sink(sink.clone());
+//! let cell = obs.scoped(
+//!     SpanContext::root(0xc0ffee),
+//!     &[("cell", Value::Str("0000000000c0ffee".into()))],
+//! );
+//! cell.emit("cell.start", &[]);
+//! let events = sink.events();
+//! assert_eq!(events[0].ctx.unwrap().trace_id, 0xc0ffee);
+//! assert!(events[0].field("cell").is_some());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;
-mod json;
+pub mod health;
+pub mod json;
 mod metrics;
 pub mod output;
 mod span;
 
-pub use event::{Event, EventSink, JsonlSink, MemorySink, Value};
+pub use event::{
+    Event, EventSink, FanoutSink, FlightRecorder, JsonlSink, MemorySink, SpanContext, Value,
+};
+pub use health::{HealthAlert, HealthDetector, HealthMonitor};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
 pub use span::{Span, Stopwatch};
 
 use std::sync::Arc;
+
+/// The per-scope state carried by a scoped [`Obs`]: trace coordinates plus
+/// standard fields appended to every emitted event.
+#[derive(Debug)]
+struct ObsScope {
+    ctx: SpanContext,
+    fields: Vec<(String, Value)>,
+}
 
 /// The observability facade handed through instrumented code paths.
 ///
@@ -62,6 +102,7 @@ use std::sync::Arc;
 pub struct Obs {
     metrics: Option<Arc<MetricsRegistry>>,
     sink: Option<Arc<dyn EventSink + Send + Sync>>,
+    scope: Option<Arc<ObsScope>>,
 }
 
 impl std::fmt::Debug for Obs {
@@ -69,6 +110,7 @@ impl std::fmt::Debug for Obs {
         f.debug_struct("Obs")
             .field("metrics", &self.metrics.is_some())
             .field("sink", &self.sink.is_some())
+            .field("scope", &self.scope.is_some())
             .finish()
     }
 }
@@ -79,7 +121,11 @@ impl Obs {
         metrics: Option<Arc<MetricsRegistry>>,
         sink: Option<Arc<dyn EventSink + Send + Sync>>,
     ) -> Self {
-        Obs { metrics, sink }
+        Obs {
+            metrics,
+            sink,
+            scope: None,
+        }
     }
 
     /// The no-op facade: all methods return immediately.
@@ -92,6 +138,7 @@ impl Obs {
         Obs {
             metrics: Some(metrics),
             sink: None,
+            scope: None,
         }
     }
 
@@ -100,6 +147,7 @@ impl Obs {
         Obs {
             metrics: None,
             sink: Some(sink),
+            scope: None,
         }
     }
 
@@ -108,9 +156,45 @@ impl Obs {
         self.metrics.is_some() || self.sink.is_some()
     }
 
+    /// Whether an event sink is attached. Callers constructing expensive
+    /// per-event field vectors (per-alert decision events, say) should gate
+    /// on this so metrics-only and disabled facades skip the allocation.
+    pub fn sink_attached(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// The attached registry, if any.
     pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref()
+    }
+
+    /// The attached event sink, if any — for composing it into a
+    /// [`FanoutSink`] alongside additional sinks (a flight recorder, say).
+    pub fn sink(&self) -> Option<&Arc<dyn EventSink + Send + Sync>> {
+        self.sink.as_ref()
+    }
+
+    /// The active span context, if this facade is scoped.
+    pub fn span_context(&self) -> Option<SpanContext> {
+        self.scope.as_ref().map(|s| s.ctx)
+    }
+
+    /// A facade that stamps `ctx` and appends `fields` to every event it
+    /// emits. Metrics are unaffected (counters stay global across the
+    /// sweep). When no sink is attached the scope is not allocated at all —
+    /// the clone behaves exactly like `self`.
+    pub fn scoped(&self, ctx: SpanContext, fields: &[(&str, Value)]) -> Obs {
+        let mut scoped = self.clone();
+        if scoped.sink.is_some() {
+            scoped.scope = Some(Arc::new(ObsScope {
+                ctx,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            }));
+        }
+        scoped
     }
 
     /// Increments the named counter by one.
@@ -142,11 +226,29 @@ impl Obs {
         }
     }
 
-    /// Emits a structured event when a sink is attached.
+    /// Emits a structured event when a sink is attached. A scoped facade
+    /// stamps its span context and appends its standard fields.
     pub fn emit(&self, kind: &str, fields: &[(&str, Value)]) {
         if let Some(sink) = &self.sink {
-            sink.emit(&Event::new(kind, fields));
+            sink.emit(&self.build_event(kind, fields));
         }
+    }
+
+    fn build_event(&self, kind: &str, fields: &[(&str, Value)]) -> Event {
+        let mut event = Event::new(kind, fields);
+        if let Some(scope) = &self.scope {
+            event.ctx = Some(scope.ctx);
+            // Call-site fields win over scope defaults: skip any standard
+            // field the emitter already supplied (e.g. `seed` in run.start).
+            event.fields.extend(
+                scope
+                    .fields
+                    .iter()
+                    .filter(|(key, _)| !fields.iter().any(|(k, _)| *k == key.as_str()))
+                    .cloned(),
+            );
+        }
+        event
     }
 
     /// Starts a named span: on [`Span::finish`] (or drop) the elapsed time
@@ -164,13 +266,19 @@ impl Obs {
             .observe(nanos as f64);
         }
         if let Some(sink) = &self.sink {
-            sink.emit(&Event::new(
+            let mut event = self.build_event(
                 "span",
                 &[
                     ("name", Value::Str(name.to_string())),
                     ("nanos", Value::U64(nanos)),
                 ],
-            ));
+            );
+            // A span event gets its own child span id under the scope, so
+            // phase spans nest beneath the cell's root span.
+            if let Some(scope) = &self.scope {
+                event.ctx = Some(scope.ctx.child(name));
+            }
+            sink.emit(&event);
         }
     }
 
@@ -190,6 +298,7 @@ mod tests {
     fn disabled_obs_is_inert() {
         let obs = Obs::disabled();
         assert!(!obs.enabled());
+        assert!(!obs.sink_attached());
         obs.incr("a");
         obs.add("a", 5);
         obs.observe("h", 1.0);
@@ -198,6 +307,10 @@ mod tests {
         obs.flush();
         let span = obs.span("phase");
         span.finish();
+        // Scoping a disabled facade allocates nothing and stays inert.
+        let scoped = obs.scoped(SpanContext::root(1), &[("k", Value::U64(1))]);
+        assert!(scoped.span_context().is_none());
+        scoped.emit("kind", &[]);
     }
 
     #[test]
@@ -206,6 +319,7 @@ mod tests {
         let sink = Arc::new(MemorySink::new());
         let obs = Obs::new(Some(registry.clone()), Some(sink.clone()));
         assert!(obs.enabled());
+        assert!(obs.sink_attached());
         obs.incr("c");
         obs.add("c", 2);
         obs.set_gauge("g", -4);
@@ -231,5 +345,40 @@ mod tests {
         assert_eq!(snap.histogram("span.work.ns").unwrap().count, 1);
         assert_eq!(snap.histogram("span.dropped.ns").unwrap().count, 1);
         assert_eq!(sink.kinds(), vec!["span".to_string(), "span".to_string()]);
+    }
+
+    #[test]
+    fn scoped_facade_stamps_context_and_standard_fields() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let ctx = SpanContext::root(0xfeed);
+        let cell = obs.scoped(
+            ctx,
+            &[
+                ("cell", Value::Str("000000000000feed".into())),
+                ("seed", Value::U64(7)),
+            ],
+        );
+        assert_eq!(cell.span_context(), Some(ctx));
+        cell.emit("cell.start", &[("extra", Value::Bool(true))]);
+        cell.span("phase_x").finish();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Scope fields ride after the call-site fields on every event.
+        for event in &events {
+            assert_eq!(event.ctx.unwrap().trace_id, 0xfeed);
+            assert_eq!(
+                event.field("cell"),
+                Some(&Value::Str("000000000000feed".into()))
+            );
+            assert_eq!(event.field("seed"), Some(&Value::U64(7)));
+        }
+        assert_eq!(events[0].field("extra"), Some(&Value::Bool(true)));
+        // The span event nests under the scope root.
+        assert_eq!(events[1].ctx.unwrap().parent_id, Some(ctx.span_id));
+        assert_ne!(events[1].ctx.unwrap().span_id, ctx.span_id);
+        // The unscoped facade is unaffected.
+        obs.emit("plain", &[]);
+        assert!(sink.events()[2].ctx.is_none());
     }
 }

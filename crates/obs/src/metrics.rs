@@ -548,6 +548,108 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_edges_are_all_zero() {
+        let s = Histogram::with_bounds(&[1.0, 2.0]).snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0.0, "q={q}");
+        }
+        assert_eq!((s.min, s.max, s.sum), (0.0, 0.0, 0.0));
+        assert_eq!(s.p50_p90_p99(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let h = Histogram::with_bounds(&[10.0, 20.0, 40.0]);
+        h.observe(15.0);
+        let s = h.snapshot();
+        // One observation: every quantile must report that observation —
+        // interpolation cannot leave the [min, max] = [15, 15] range.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 15.0, "q={q}");
+        }
+        assert_eq!(s.mean(), 15.0);
+    }
+
+    #[test]
+    fn all_equal_samples_have_degenerate_quantiles() {
+        let h = Histogram::with_bounds(&[10.0, 20.0, 40.0]);
+        for _ in 0..1000 {
+            h.observe(15.0);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 15.0, "q={q}");
+        }
+        // Same when every sample sits exactly on a bucket bound.
+        let h = Histogram::with_bounds(&[10.0, 20.0, 40.0]);
+        for _ in 0..1000 {
+            h.observe(20.0);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), 20.0, "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        Histogram::with_bounds(&[1.0]).snapshot().quantile(1.5);
+    }
+
+    #[test]
+    fn snapshot_is_coherent_under_concurrent_writers() {
+        let r = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let r = r.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let c = r.counter("w.ops");
+                    let h = r.histogram("w.lat", &[10.0, 100.0, 1_000.0]);
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        c.incr();
+                        h.observe((t * 100) as f64);
+                        r.gauge(&format!("w.g{t}")).set(n as i64);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        // Snapshots taken mid-write must be internally consistent: the
+        // histogram's bucket total never exceeds its recorded count at a
+        // later instant, and counters never move backwards across snaps.
+        let mut last_ops = 0u64;
+        for _ in 0..50 {
+            let snap = r.snapshot();
+            if let Some(h) = snap.histogram("w.lat") {
+                let bucket_total: u64 = h.bucket_counts.iter().sum();
+                // `count` is bumped after the bucket, so the bucket total
+                // may run ahead by in-flight observers but never lag by
+                // more than the writer count.
+                assert!(
+                    bucket_total + 4 >= h.count && bucket_total <= h.count + 4,
+                    "bucket total {bucket_total} vs count {}",
+                    h.count
+                );
+            }
+            let ops = snap.counter("w.ops").unwrap_or(0);
+            assert!(ops >= last_ops, "counter went backwards");
+            last_ops = ops;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("w.ops"), Some(total), "no update lost");
+        assert_eq!(snap.histogram("w.lat").unwrap().count, total);
+        let bucket_total: u64 = snap.histogram("w.lat").unwrap().bucket_counts.iter().sum();
+        assert_eq!(bucket_total, total);
+    }
+
+    #[test]
     fn concurrent_updates_are_lossless() {
         let c = Counter::new();
         let h = Histogram::with_bounds(&[1_000.0]);

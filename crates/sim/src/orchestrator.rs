@@ -40,13 +40,14 @@
 //! ```
 
 use crate::{ImpactMemo, RunOptions, Runner, SimConfig, SimOutcome};
-use secloc_obs::Obs;
+use secloc_obs::{EventSink, FanoutSink, FlightRecorder, Obs, SpanContext, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
+use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 
 /// Bumped whenever a code change alters simulation outcomes for an
@@ -152,22 +153,83 @@ fn probe_fingerprint(config: &SimConfig, seed: u64) -> String {
     )
 }
 
+/// A telemetry facade scoped to one cell: every event carries the cell's
+/// trace id (the cell key) plus the standard `cell` / `seed` fields, so a
+/// JSONL stream or flight-recorder dump can be filtered to one cell's
+/// complete decision history.
+fn cell_scope(obs: &Obs, key: CellKey, seed: u64) -> Obs {
+    obs.scoped(
+        SpanContext::root(key.0),
+        &[
+            ("cell", Value::Str(key.to_string())),
+            ("seed", Value::U64(seed)),
+        ],
+    )
+}
+
+/// Everything a worker thread needs besides its unit list. `Copy` so each
+/// spawned closure takes its own handle.
+#[derive(Clone, Copy)]
+struct WorkerCtx<'a> {
+    cells: &'a [SweepCell],
+    keys: &'a [CellKey],
+    obs: &'a Obs,
+    flight: Option<&'a (Arc<FlightRecorder>, PathBuf)>,
+}
+
+impl WorkerCtx<'_> {
+    /// Runs one cell's simulation under its scoped trace. `cell.start`
+    /// (with the revocation-policy knobs) and `cell.complete` (with the
+    /// `cache` classification) bracket the work; a panic first dumps the
+    /// cell's flight-recorder tail to `flightrec_<key>.jsonl` and then
+    /// propagates, so the scope join still re-raises it.
+    fn run_cell(&self, i: usize, cache: &str, f: impl FnOnce(&Obs) -> SimOutcome) -> SimOutcome {
+        let key = self.keys[i];
+        let cell = &self.cells[i];
+        let cell_obs = cell_scope(self.obs, key, cell.seed);
+        cell_obs.emit(
+            "cell.start",
+            &[
+                ("tau", Value::U64(cell.config.tau as u64)),
+                ("tau_prime", Value::U64(cell.config.tau_prime as u64)),
+            ],
+        );
+        match panic::catch_unwind(AssertUnwindSafe(|| f(&cell_obs))) {
+            Ok(outcome) => {
+                cell_obs.emit("cell.complete", &[("cache", Value::Str(cache.to_string()))]);
+                outcome
+            }
+            Err(payload) => {
+                if let Some((recorder, dir)) = self.flight {
+                    let _ = recorder.dump_trace(dir.join(format!("flightrec_{key}.jsonl")), key.0);
+                }
+                panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
 /// Runs one scheduling unit — a maximal run of pending cells sharing a
 /// probe fingerprint — and streams `(cell index, outcome)` over `tx`.
 /// Multi-cell units deploy once, snapshot the probe stage once, and replay
 /// only the revocation/impact phases per cell; the outcomes are
 /// bit-identical to fresh per-cell runs (see `Runner`'s staging tests and
-/// `tests/equivalence.rs`). `Err` means the receiver hung up.
+/// `tests/equivalence.rs`). Telemetry classifies each executed cell as
+/// `cache=miss` (paid the deployment + probe stage) or `cache=memo`
+/// (replayed a shared stage). `Err` means the receiver hung up.
 fn run_unit(
-    cells: &[SweepCell],
+    ctx: WorkerCtx<'_>,
     unit: &[usize],
     tx: &mpsc::Sender<(usize, SimOutcome)>,
 ) -> Result<(), ()> {
+    let cells = ctx.cells;
     let first = unit[0];
     if unit.len() == 1 {
-        let outcome = Runner::new(cells[first].config.clone(), cells[first].seed)
-            .run(RunOptions::new())
-            .outcome;
+        let outcome = ctx.run_cell(first, "miss", |cell_obs| {
+            Runner::new(cells[first].config.clone(), cells[first].seed)
+                .run(RunOptions::new().observed(cell_obs))
+                .outcome
+        });
         return tx.send((first, outcome)).map_err(drop);
     }
     let base = Runner::new(cells[first].config.clone(), cells[first].seed);
@@ -176,20 +238,24 @@ fn run_unit(
     // drop the same reference subsets share the re-estimation work.
     let mut memo = ImpactMemo::new();
     for &i in unit {
+        let memo = &mut memo;
         let outcome = if i == first {
-            base.finish_from_stage_memo(&stage, &mut memo)
+            ctx.run_cell(i, "miss", |cell_obs| {
+                base.finish_from_stage_observed(&stage, memo, cell_obs)
+            })
         } else {
             match base.deployment().with_policy(cells[i].config.clone()) {
-                Ok(rekeyed) => {
-                    Runner::from_deployment(rekeyed).finish_from_stage_memo(&stage, &mut memo)
-                }
+                Ok(rekeyed) => ctx.run_cell(i, "memo", |cell_obs| {
+                    Runner::from_deployment(rekeyed)
+                        .finish_from_stage_observed(&stage, memo, cell_obs)
+                }),
                 // Unreachable when the fingerprints matched, but a plain
                 // run is always a correct (if slower) answer.
-                Err(_) => {
+                Err(_) => ctx.run_cell(i, "miss", |cell_obs| {
                     Runner::new(cells[i].config.clone(), cells[i].seed)
-                        .run(RunOptions::new())
+                        .run(RunOptions::new().observed(cell_obs))
                         .outcome
-                }
+                }),
             }
         };
         tx.send((i, outcome)).map_err(drop)?;
@@ -454,8 +520,22 @@ impl ResultCache {
     /// Re-inserting an existing key is a no-op (outcomes are pure
     /// functions of their key).
     pub fn insert(&mut self, key: CellKey, outcome: SimOutcome) -> io::Result<()> {
-        if self.entries.contains_key(&key.0) {
-            return Ok(());
+        self.insert_checked(key, outcome).map(drop)
+    }
+
+    /// [`ResultCache::insert`], reporting what happened. A
+    /// [`CacheInsert::Conflict`] — the key already maps to a *different*
+    /// outcome — means the purity contract broke somewhere (a stale cache
+    /// surviving a code change, file corruption, or nondeterminism in the
+    /// simulation itself); the existing entry is kept and the caller
+    /// decides how loudly to escalate.
+    pub fn insert_checked(&mut self, key: CellKey, outcome: SimOutcome) -> io::Result<CacheInsert> {
+        if let Some(existing) = self.entries.get(&key.0) {
+            return Ok(if *existing == outcome {
+                CacheInsert::Duplicate
+            } else {
+                CacheInsert::Conflict
+            });
         }
         if let Some(file) = &mut self.file {
             writeln!(
@@ -465,8 +545,20 @@ impl ResultCache {
             )?;
         }
         self.entries.insert(key.0, outcome);
-        Ok(())
+        Ok(CacheInsert::Inserted)
     }
+}
+
+/// What [`ResultCache::insert_checked`] did with the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheInsert {
+    /// New entry recorded (and appended, for persisted caches).
+    Inserted,
+    /// The key was already present with a bit-identical outcome.
+    Duplicate,
+    /// The key was already present with a **different** outcome — the
+    /// cache's purity invariant is violated.
+    Conflict,
 }
 
 // ---------------------------------------------------------------------------
@@ -588,6 +680,7 @@ pub struct Orchestrator {
     obs: Obs,
     tag: Option<String>,
     sharing: bool,
+    flight: Option<(Arc<FlightRecorder>, PathBuf)>,
 }
 
 impl Default for Orchestrator {
@@ -599,6 +692,7 @@ impl Default for Orchestrator {
             obs: Obs::default(),
             tag: None,
             sharing: true,
+            flight: None,
         }
     }
 }
@@ -648,6 +742,20 @@ impl Orchestrator {
         self
     }
 
+    /// Attaches a flight recorder: `recorder` is fanned into the event
+    /// stream alongside any sink from [`Orchestrator::observed`], and when
+    /// a cell's simulation panics (or a cache conflict is detected) the
+    /// recorder's tail for that cell's trace is dumped to
+    /// `<dump_dir>/flightrec_<cellkey>.jsonl` before the error propagates.
+    pub fn flight_recorder(
+        mut self,
+        recorder: Arc<FlightRecorder>,
+        dump_dir: impl Into<PathBuf>,
+    ) -> Self {
+        self.flight = Some((recorder, dump_dir.into()));
+        self
+    }
+
     /// Enables or disables topology/probe-stage sharing (on by default).
     /// Cells that agree on everything except revocation-policy knobs
     /// deploy and probe once, then replay only the revocation/impact
@@ -678,13 +786,27 @@ impl Orchestrator {
             .iter()
             .map(|c| cell_key(&c.config, c.seed, &tag))
             .collect();
-        let span = self.obs.span("sweep.run");
-        self.obs.add("sweep.cells_total", spec.len() as u64);
-        self.obs.emit(
+        // With a flight recorder configured, fan it into the event stream
+        // next to the caller's sink so its ring always holds the tail of
+        // exactly what was emitted.
+        let obs = match &self.flight {
+            Some((recorder, _)) => {
+                let tap: Arc<dyn EventSink + Send + Sync> = recorder.clone();
+                let sink: Arc<dyn EventSink + Send + Sync> = match self.obs.sink() {
+                    Some(existing) => Arc::new(FanoutSink::new(vec![existing.clone(), tap])),
+                    None => tap,
+                };
+                Obs::new(self.obs.metrics().cloned(), Some(sink))
+            }
+            None => self.obs.clone(),
+        };
+        let span = obs.span("sweep.run");
+        obs.add("sweep.cells_total", spec.len() as u64);
+        obs.emit(
             "sweep.start",
             &[
-                ("cells", secloc_obs::Value::U64(spec.len() as u64)),
-                ("tag", secloc_obs::Value::Str(tag.clone())),
+                ("cells", Value::U64(spec.len() as u64)),
+                ("tag", Value::Str(tag.clone())),
             ],
         );
 
@@ -694,7 +816,7 @@ impl Orchestrator {
             None => Vec::new(),
         };
         let resumed = prefix.len();
-        self.obs.add("sweep.cells_resumed", resumed as u64);
+        obs.add("sweep.cells_resumed", resumed as u64);
 
         // 2. Consult the cache for everything past the prefix.
         let mut cache = match &self.cache_path {
@@ -702,8 +824,14 @@ impl Orchestrator {
             None => ResultCache::in_memory(),
         };
         let mut results: Vec<Option<SimOutcome>> = vec![None; spec.len()];
-        for (slot, outcome) in results.iter_mut().zip(prefix) {
-            *slot = Some(outcome);
+        for (i, outcome) in prefix.into_iter().enumerate() {
+            if obs.sink_attached() {
+                cell_scope(&obs, keys[i], spec.cells()[i].seed).emit(
+                    "cell.complete",
+                    &[("cache", Value::Str("resumed".to_string()))],
+                );
+            }
+            results[i] = Some(outcome);
         }
         let mut cache_hits = 0usize;
         let mut pending: Vec<usize> = Vec::new();
@@ -711,12 +839,16 @@ impl Orchestrator {
             if let Some(hit) = cache.get(keys[i]) {
                 results[i] = Some(hit.clone());
                 cache_hits += 1;
+                if obs.sink_attached() {
+                    cell_scope(&obs, keys[i], spec.cells()[i].seed)
+                        .emit("cell.complete", &[("cache", Value::Str("hit".to_string()))]);
+                }
             } else {
                 pending.push(i);
             }
         }
-        self.obs.add("sweep.cells_cached", cache_hits as u64);
-        self.obs.add("sweep.cells_executed", pending.len() as u64);
+        obs.add("sweep.cells_cached", cache_hits as u64);
+        obs.add("sweep.cells_executed", pending.len() as u64);
 
         // 3. Fold the pending cells into scheduling units. With sharing
         //    on, cells with the same probe fingerprint form one unit that
@@ -748,7 +880,7 @@ impl Orchestrator {
             self.workers
         };
         let workers = requested.min(units.len());
-        self.obs.set_gauge("sweep.workers", workers as i64);
+        obs.set_gauge("sweep.workers", workers as i64);
 
         // 4. Stream results: workers push (cell index, outcome); the main
         //    thread advances the completion frontier in cell order,
@@ -768,36 +900,58 @@ impl Orchestrator {
             None => None,
         };
         let mut frontier = 0usize; // next cell whose line is unwritten
+        let flight = self.flight.as_ref();
         let mut flush_frontier = |results: &[Option<SimOutcome>],
                                   frontier: &mut usize,
                                   cache: &mut ResultCache,
                                   obs: &Obs|
          -> io::Result<()> {
+            let advanced_from = *frontier;
             while *frontier < results.len() {
                 let Some(outcome) = &results[*frontier] else {
                     break;
                 };
+                let key = keys[*frontier];
                 if let Some(file) = &mut checkpoint_file {
                     writeln!(
                         file,
                         "{}",
-                        cell_line(
-                            *frontier,
-                            keys[*frontier],
-                            spec.cells()[*frontier].seed,
-                            outcome
-                        )
+                        cell_line(*frontier, key, spec.cells()[*frontier].seed, outcome)
                     )?;
                     file.flush()?;
                 }
-                cache.insert(keys[*frontier], outcome.clone())?;
+                if cache.insert_checked(key, outcome.clone())? == CacheInsert::Conflict {
+                    // The purity contract broke: same key, different
+                    // outcome. Keep going (the fresh result stands in the
+                    // checkpoint) but surface it as a health event and
+                    // preserve the cell's trace for the post-mortem.
+                    cell_scope(obs, key, spec.cells()[*frontier].seed).emit(
+                        "health.cache_conflict",
+                        &[(
+                            "message",
+                            Value::Str(format!(
+                                "cell {key} produced an outcome different from its cache entry"
+                            )),
+                        )],
+                    );
+                    if let Some((recorder, dir)) = flight {
+                        let _ =
+                            recorder.dump_trace(dir.join(format!("flightrec_{key}.jsonl")), key.0);
+                    }
+                }
                 obs.incr("sweep.cells_done");
                 *frontier += 1;
+            }
+            if checkpoint_file.is_some() && *frontier > advanced_from {
+                obs.emit(
+                    "checkpoint.advance",
+                    &[("frontier", Value::U64(*frontier as u64))],
+                );
             }
             Ok(())
         };
         // Everything known up front (resumed + cached) checkpoints first.
-        flush_frontier(&results, &mut frontier, &mut cache, &self.obs)?;
+        flush_frontier(&results, &mut frontier, &mut cache, &obs)?;
 
         if !pending.is_empty() {
             let (tx, rx) = mpsc::channel::<(usize, SimOutcome)>();
@@ -812,10 +966,15 @@ impl Orchestrator {
                     let chunk = &units[offset..offset + take];
                     offset += take;
                     let tx = tx.clone();
-                    let cells = spec.cells();
+                    let ctx = WorkerCtx {
+                        cells: spec.cells(),
+                        keys: &keys,
+                        obs: &obs,
+                        flight,
+                    };
                     scope.spawn(move || {
                         for unit in chunk {
-                            if run_unit(cells, unit, &tx).is_err() {
+                            if run_unit(ctx, unit, &tx).is_err() {
                                 return; // receiver bailed on an I/O error
                             }
                         }
@@ -827,7 +986,7 @@ impl Orchestrator {
                         break; // a worker panicked; scope join re-raises it
                     };
                     results[i] = Some(outcome);
-                    io_result = flush_frontier(&results, &mut frontier, &mut cache, &self.obs);
+                    io_result = flush_frontier(&results, &mut frontier, &mut cache, &obs);
                     if io_result.is_err() {
                         break;
                     }
@@ -840,16 +999,17 @@ impl Orchestrator {
             .into_iter()
             .map(|o| o.expect("every cell resolved"))
             .collect();
-        self.obs.emit(
+        obs.emit(
             "sweep.end",
             &[
-                ("resumed", secloc_obs::Value::U64(resumed as u64)),
-                ("cached", secloc_obs::Value::U64(cache_hits as u64)),
-                ("executed", secloc_obs::Value::U64(pending.len() as u64)),
+                ("cells", Value::U64(spec.len() as u64)),
+                ("resumed", Value::U64(resumed as u64)),
+                ("cached", Value::U64(cache_hits as u64)),
+                ("executed", Value::U64(pending.len() as u64)),
             ],
         );
         span.finish();
-        self.obs.flush();
+        obs.flush();
         Ok(SweepReport {
             outcomes,
             resumed,

@@ -10,13 +10,57 @@ use secloc_obs::{Counter, Obs};
 use secloc_radio::ranging::{BoundedRanging, Ranging};
 use secloc_radio::timing::RttModel;
 use secloc_radio::Cycles;
+use std::cell::Cell;
 
-/// Counters resolved once per context; recording is an atomic add.
+/// Counters resolved once per context. Per-probe recording bumps plain
+/// `Cell` tallies — the probe loop is the simulation's hottest path, and
+/// even relaxed atomic adds per exchange were a measurable slice of the
+/// detection and location phases — and the totals land in the registry in
+/// one update per counter when the context drops.
 #[derive(Debug)]
 struct ProbeTelemetry {
     pipeline: PipelineMetrics,
     exchanges: Counter,
     no_signal: Counter,
+    tally_exchanges: Cell<u64>,
+    tally_no_signal: Cell<u64>,
+    /// Indexed by [`ProbeTelemetry::VERDICTS`] position.
+    tally_verdicts: [Cell<u64>; 4],
+    tally_loc_accepted: Cell<u64>,
+    tally_loc_rejected: Cell<u64>,
+}
+
+impl ProbeTelemetry {
+    const VERDICTS: [DetectionOutcome; 4] = [
+        DetectionOutcome::Benign,
+        DetectionOutcome::IgnoredWormholeReplay,
+        DetectionOutcome::IgnoredLocalReplay,
+        DetectionOutcome::Alert,
+    ];
+
+    fn verdict_slot(outcome: DetectionOutcome) -> usize {
+        match outcome {
+            DetectionOutcome::Benign => 0,
+            DetectionOutcome::IgnoredWormholeReplay => 1,
+            DetectionOutcome::IgnoredLocalReplay => 2,
+            DetectionOutcome::Alert => 3,
+        }
+    }
+}
+
+impl Drop for ProbeTelemetry {
+    fn drop(&mut self) {
+        self.exchanges.add(self.tally_exchanges.get());
+        self.no_signal.add(self.tally_no_signal.get());
+        for (slot, outcome) in Self::VERDICTS.into_iter().enumerate() {
+            self.pipeline
+                .add_verdicts(outcome, self.tally_verdicts[slot].get());
+        }
+        self.pipeline
+            .add_localizations(true, self.tally_loc_accepted.get());
+        self.pipeline
+            .add_localizations(false, self.tally_loc_rejected.get());
+    }
 }
 
 /// The shared machinery for running probes against one deployment.
@@ -101,6 +145,11 @@ impl<'a> ProbeContext<'a> {
             pipeline: PipelineMetrics::new(registry),
             exchanges: registry.counter("probe.exchanges"),
             no_signal: registry.counter("probe.no_signal"),
+            tally_exchanges: Cell::new(0),
+            tally_no_signal: Cell::new(0),
+            tally_verdicts: [const { Cell::new(0) }; 4],
+            tally_loc_accepted: Cell::new(0),
+            tally_loc_rejected: Cell::new(0),
         });
         ctx
     }
@@ -164,10 +213,11 @@ impl<'a> ProbeContext<'a> {
     ) -> Option<ProbeResult> {
         let result = self.probe_inner(requester, requester_wire_id, target, faults, rng);
         if let Some(t) = &self.telemetry {
-            match result {
-                Some(_) => t.exchanges.incr(),
-                None => t.no_signal.incr(),
-            }
+            let tally = match result {
+                Some(_) => &t.tally_exchanges,
+                None => &t.tally_no_signal,
+            };
+            tally.set(tally.get() + 1);
         }
         result
     }
@@ -234,8 +284,14 @@ impl<'a> ProbeContext<'a> {
         let (outcome, accepted_for_localization) =
             self.pipeline.evaluate_with_acceptance(&observation);
         if let Some(t) = &self.telemetry {
-            t.pipeline.record_verdict(outcome);
-            t.pipeline.record_localization(accepted_for_localization);
+            let verdict = &t.tally_verdicts[ProbeTelemetry::verdict_slot(outcome)];
+            verdict.set(verdict.get() + 1);
+            let loc = if accepted_for_localization {
+                &t.tally_loc_accepted
+            } else {
+                &t.tally_loc_rejected
+            };
+            loc.set(loc.get() + 1);
         }
         ProbeResult {
             observation,

@@ -23,6 +23,20 @@ use secloc_obs::{Obs, Value};
 use secloc_radio::loss::send_reliable;
 use secloc_radio::{Cycles, EventQueue};
 
+/// The wire label of one base-station decision, as carried by `bs.alert`
+/// events (and cross-checked by `secloc_obs::health`'s counter-anomaly
+/// detector — keep the two vocabularies in sync).
+fn outcome_label(outcome: secloc_core::AlertOutcome) -> &'static str {
+    use secloc_core::AlertOutcome::*;
+    match outcome {
+        Accepted => "accepted",
+        AcceptedAndRevoked => "accepted_and_revoked",
+        IgnoredReporterBudget => "ignored_reporter_budget",
+        IgnoredTargetRevoked => "ignored_target_revoked",
+        IgnoredDuplicate => "ignored_duplicate",
+    }
+}
+
 /// A reference a sensor kept for localization, tagged with its source.
 #[derive(Debug, Clone, Copy)]
 struct KeptReference {
@@ -287,7 +301,7 @@ impl Runner {
     /// and every probe-relevant policy field (the equivalence suite is the
     /// oracle). Only the revocation and impact phases execute.
     pub fn finish_from_stage(&self, stage: &ProbeStage) -> SimOutcome {
-        self.finish_from_stage_inner(stage, None)
+        self.finish_from_stage_inner(stage, None, &Obs::disabled())
     }
 
     /// [`Runner::finish_from_stage`] with a cross-cell [`ImpactMemo`]:
@@ -296,18 +310,34 @@ impl Runner {
     /// one shared stage are re-estimated only once. The memo must be fresh
     /// for each distinct [`ProbeStage`].
     pub fn finish_from_stage_memo(&self, stage: &ProbeStage, memo: &mut ImpactMemo) -> SimOutcome {
-        self.finish_from_stage_inner(stage, Some(memo))
+        self.finish_from_stage_inner(stage, Some(memo), &Obs::disabled())
+    }
+
+    /// [`Runner::finish_from_stage_memo`] with telemetry: the revocation
+    /// and impact phases report on `telemetry` (spans, counters, `bs.alert`
+    /// / `revocation` / `alerts.summary` events) exactly as a full observed
+    /// run would. Instrumentation consumes no randomness, so the outcome is
+    /// still bit-identical to the plain staged finish — this is how the
+    /// sweep orchestrator attributes per-cell revocation decisions to their
+    /// cell's trace.
+    pub fn finish_from_stage_observed(
+        &self,
+        stage: &ProbeStage,
+        memo: &mut ImpactMemo,
+        telemetry: &Obs,
+    ) -> SimOutcome {
+        self.finish_from_stage_inner(stage, Some(memo), telemetry)
     }
 
     fn finish_from_stage_inner(
         &self,
         stage: &ProbeStage,
         memo: Option<&mut ImpactMemo>,
+        telemetry: &Obs,
     ) -> SimOutcome {
-        let disabled = Obs::disabled();
         let plan = self.deployment.config().faults.clone();
         let (outcome, _) = self.finish_phases(
-            &disabled,
+            telemetry,
             true,
             &plan,
             &stage.core,
@@ -348,6 +378,8 @@ impl Runner {
                 ("nodes", Value::U64(cfg.nodes as u64)),
                 ("beacons", Value::U64(cfg.beacons as u64)),
                 ("malicious", Value::U64(cfg.malicious as u64)),
+                ("tau", Value::U64(cfg.tau as u64)),
+                ("tau_prime", Value::U64(cfg.tau_prime as u64)),
             ],
         );
 
@@ -648,12 +680,10 @@ impl Runner {
             let ok = delivered(&mut loss_rng, &mut alert_loss);
             submissions.push((alert, AlertSource::Detection, ok));
         }
+        let dropped_in_transit = submissions.iter().filter(|(_, _, ok)| !ok).count();
         telemetry.add("alerts.sent.collusion", collusion_alerts as u64);
         telemetry.add("alerts.sent.detection", benign_alert_count as u64);
-        telemetry.add(
-            "alerts.dropped_in_transit",
-            submissions.iter().filter(|(_, _, ok)| !ok).count() as u64,
-        );
+        telemetry.add("alerts.dropped_in_transit", dropped_in_transit as u64);
         if plan.burst_loss.is_some() {
             telemetry.add("faults.channel.lost_transmissions", lost_transmissions);
         }
@@ -667,6 +697,10 @@ impl Runner {
             tau: cfg.tau,
             tau_prime: cfg.tau_prime,
         });
+        // Per-decision events are only built when a sink is listening:
+        // metrics-only telemetry (the BENCH_obs overhead configuration)
+        // skips the string formatting entirely.
+        let decisions_attended = telemetry.sink_attached();
         for (alert, source, ok) in submissions {
             let outcome = if ok {
                 station.process(alert)
@@ -677,28 +711,49 @@ impl Runner {
                 if let Some(m) = &alert_metrics {
                     m.record(outcome);
                 }
+                let source_label = match source {
+                    AlertSource::Detection => "detection",
+                    AlertSource::Collusion => "collusion",
+                };
+                if decisions_attended {
+                    telemetry.emit(
+                        "bs.alert",
+                        &[
+                            ("reporter", Value::U64(alert.reporter.0 as u64)),
+                            ("target", Value::U64(alert.target.0 as u64)),
+                            ("source", Value::Str(source_label.to_string())),
+                            ("outcome", Value::Str(outcome_label(outcome).to_string())),
+                        ],
+                    );
+                }
                 if outcome == secloc_core::AlertOutcome::AcceptedAndRevoked {
                     telemetry.emit(
                         "revocation",
                         &[
                             ("target", Value::U64(alert.target.0 as u64)),
                             ("reporter", Value::U64(alert.reporter.0 as u64)),
-                            (
-                                "source",
-                                Value::Str(
-                                    match source {
-                                        AlertSource::Detection => "detection",
-                                        AlertSource::Collusion => "collusion",
-                                    }
-                                    .to_string(),
-                                ),
-                            ),
+                            ("source", Value::Str(source_label.to_string())),
                         ],
                     );
                 }
             }
             trace.record(alert.reporter, alert.target, source, outcome, ok);
         }
+        // Emitted after the last decision so any stream consumer (the
+        // counter-anomaly health detector in particular) can reconcile the
+        // delivered total against the bs.alert events it has already seen.
+        telemetry.emit(
+            "alerts.summary",
+            &[
+                ("sent_detection", Value::U64(benign_alert_count as u64)),
+                ("sent_collusion", Value::U64(collusion_alerts as u64)),
+                ("dropped", Value::U64(dropped_in_transit as u64)),
+                (
+                    "delivered",
+                    Value::U64((benign_alert_count + collusion_alerts - dropped_in_transit) as u64),
+                ),
+            ],
+        );
         revocation_span.finish();
 
         // ---- Phase 4: impact metrics. ----------------------------------

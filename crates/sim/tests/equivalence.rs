@@ -266,6 +266,69 @@ proptest! {
 }
 
 #[test]
+fn fully_traced_sweep_is_bit_identical_to_unobserved_sweep() {
+    // The observability tentpole's equivalence claim: per-cell span
+    // tracing, per-decision `bs.alert` events, a flight-recorder tap and
+    // the health monitor together consume no RNG and perturb nothing —
+    // outcomes and checkpoint bytes match an `Obs::disabled()` sweep.
+    use secloc_obs::health::{CounterAnomalyDetector, HealthDetector, HealthMonitor};
+    use secloc_obs::{FlightRecorder, MemorySink, MetricsRegistry, Obs};
+    use std::sync::Arc;
+
+    let mut policy = base();
+    policy.nodes = 250;
+    policy.beacons = 25;
+    policy.malicious = 4;
+    let mut strict = policy.clone();
+    strict.tau += 1;
+    strict.tau_prime += 1;
+    let spec = SweepSpec::product(&[policy, strict], &[7, 8]);
+
+    let dir = std::env::temp_dir().join(format!("secloc-equiv-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plain_ckpt = dir.join("plain.jsonl");
+    let traced_ckpt = dir.join("traced.jsonl");
+
+    let plain = Orchestrator::new()
+        .workers(2)
+        .checkpoint(&plain_ckpt)
+        .run(&spec)
+        .expect("plain sweep");
+
+    let sink = Arc::new(MemorySink::new());
+    let detectors: Vec<Box<dyn HealthDetector>> = vec![Box::new(CounterAnomalyDetector::new(None))];
+    let monitor = Arc::new(HealthMonitor::new(detectors, Some(sink.clone())));
+    let obs = Obs::new(
+        Some(Arc::new(MetricsRegistry::new())),
+        Some(monitor.clone()),
+    );
+    let traced = Orchestrator::new()
+        .workers(2)
+        .checkpoint(&traced_ckpt)
+        .observed(&obs)
+        .flight_recorder(Arc::new(FlightRecorder::new(1024)), &dir)
+        .run(&spec)
+        .expect("traced sweep");
+
+    assert_eq!(
+        plain.outcomes, traced.outcomes,
+        "tracing perturbed outcomes"
+    );
+    assert_eq!(
+        std::fs::read(&plain_ckpt).unwrap(),
+        std::fs::read(&traced_ckpt).unwrap(),
+        "tracing perturbed checkpoint bytes"
+    );
+    monitor.finish();
+    assert!(monitor.is_healthy(), "clean sweep raised health alerts");
+    assert!(
+        sink.events().iter().any(|e| e.kind == "bs.alert"),
+        "traced sweep should carry per-decision events"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn paper_scale_run_matches_reference() {
     // One full paper_default-scale run (1000 nodes): the scale the ≥2×
     // throughput claim is made at must also be the scale equivalence holds

@@ -1,8 +1,10 @@
 //! Integration test: an instrumented run emits the expected event stream
 //! and produces the exact same measurements as an uninstrumented run.
 
-use secloc_obs::{MemorySink, MetricsRegistry, Obs, Value};
-use secloc_sim::{RunOptions, Runner, SimConfig};
+use secloc_obs::health::{CounterAnomalyDetector, HealthDetector, HealthMonitor};
+use secloc_obs::{Event, MemorySink, MetricsRegistry, Obs, Value};
+use secloc_sim::orchestrator::{cell_key, code_version_tag};
+use secloc_sim::{Orchestrator, RunOptions, Runner, SimConfig, SweepSpec};
 use std::sync::Arc;
 
 fn shrunk() -> SimConfig {
@@ -119,6 +121,169 @@ fn instrumented_counters_agree_with_outcome() {
         + snap.counter("alerts.sent.collusion").unwrap_or(0);
     let dropped = snap.counter("alerts.dropped_in_transit").unwrap_or(0);
     assert_eq!(decisions, sent - dropped);
+}
+
+/// Counts `cell.complete` events by their `cache` classification.
+fn cache_class_counts(events: &[Event]) -> (usize, usize, usize, usize) {
+    let (mut miss, mut memo, mut hit, mut resumed) = (0, 0, 0, 0);
+    for event in events.iter().filter(|e| e.kind == "cell.complete") {
+        match event.field("cache") {
+            Some(Value::Str(s)) if s == "miss" => miss += 1,
+            Some(Value::Str(s)) if s == "memo" => memo += 1,
+            Some(Value::Str(s)) if s == "hit" => hit += 1,
+            Some(Value::Str(s)) if s == "resumed" => resumed += 1,
+            other => panic!("cell.complete with unexpected cache field {other:?}"),
+        }
+    }
+    (miss, memo, hit, resumed)
+}
+
+#[test]
+fn sweep_cell_complete_accounting_adds_up() {
+    // A sweep mixing every cache class: one cell resumed from a truncated
+    // checkpoint, two served by the cache, and three executed (two paying
+    // a probe stage, one replaying a shared one). The per-cell
+    // `cell.complete` events must classify each exactly once and agree
+    // with the `SweepReport` tallies.
+    let mut variants = Vec::new();
+    for tau in [1u32, 2, 3] {
+        let mut c = shrunk();
+        c.tau = tau;
+        variants.push(c);
+    }
+    let seeds = [31u64, 32];
+    let spec = SweepSpec::product(&variants, &seeds);
+    let dir = std::env::temp_dir().join(format!("secloc-obs-acct-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache.jsonl");
+    let ckpt = dir.join("ckpt.jsonl");
+
+    let cold = Orchestrator::new()
+        .workers(2)
+        .cache(&cache)
+        .checkpoint(&ckpt)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(cold.executed, spec.len());
+
+    // Truncate the checkpoint to header + 1 cell, and drop the cache
+    // entries for cells 3..6 so they must re-execute. Cell order is
+    // config-major, so the pending set {3, 4, 5} spans two probe
+    // fingerprints: {3, 5} share seed 32's stage, {4} is alone on seed 31.
+    let kept: String = std::fs::read_to_string(&ckpt)
+        .unwrap()
+        .lines()
+        .take(2)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&ckpt, kept).unwrap();
+    let tag = code_version_tag();
+    let dropped: Vec<String> = spec.cells()[3..]
+        .iter()
+        .map(|c| cell_key(&c.config, c.seed, &tag).to_string())
+        .collect();
+    let filtered: String = std::fs::read_to_string(&cache)
+        .unwrap()
+        .lines()
+        .filter(|line| !dropped.iter().any(|key| line.contains(key.as_str())))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&cache, filtered).unwrap();
+
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new(Some(Arc::new(MetricsRegistry::new())), Some(sink.clone()));
+    let report = Orchestrator::new()
+        .workers(2)
+        .cache(&cache)
+        .checkpoint(&ckpt)
+        .observed(&obs)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(report.outcomes, cold.outcomes);
+    assert_eq!(
+        (report.resumed, report.cache_hits, report.executed),
+        (1, 2, 3)
+    );
+
+    let events = sink.events();
+    let (miss, memo, hit, resumed) = cache_class_counts(&events);
+    assert_eq!(resumed, report.resumed);
+    assert_eq!(hit, report.cache_hits);
+    assert_eq!(miss + memo, report.executed, "executed = misses + memos");
+    assert_eq!((miss, memo), (2, 1), "one cell replays a shared stage");
+    assert_eq!(miss + memo + hit + resumed, spec.len());
+
+    // Every cell.complete is attributable: trace id == cell key, and the
+    // standard fields name the cell.
+    for event in events.iter().filter(|e| e.kind == "cell.complete") {
+        let ctx = event.ctx.expect("cell events carry a span context");
+        let cell = match event.field("cell") {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("cell.complete without cell field: {other:?}"),
+        };
+        assert_eq!(format!("{:016x}", ctx.trace_id), cell);
+        assert!(event.field("seed").is_some());
+    }
+    // sweep.end agrees with the report.
+    let end = events.iter().find(|e| e.kind == "sweep.end").unwrap();
+    assert_eq!(end.field("cells"), Some(&Value::U64(spec.len() as u64)));
+    assert_eq!(end.field("resumed"), Some(&Value::U64(1)));
+    assert_eq!(end.field("cached"), Some(&Value::U64(2)));
+    assert_eq!(end.field("executed"), Some(&Value::U64(3)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn counter_anomaly_detector_flags_doctored_streams_only() {
+    // End-to-end watchdog check: a real sweep's event stream is healthy,
+    // and the same stream with one corrupted counter — an
+    // `alerts.summary` whose `delivered` total disagrees with the
+    // per-decision `bs.alert` events — trips the counter-anomaly detector.
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new(None, Some(sink.clone()));
+    Orchestrator::new()
+        .workers(1)
+        .observed(&obs)
+        .run(&SweepSpec::single(&shrunk(), &[41, 42]))
+        .unwrap();
+    let events = sink.events();
+    assert!(events.iter().any(|e| e.kind == "bs.alert"));
+
+    let replay = |events: &[Event]| -> Vec<String> {
+        let detectors: Vec<Box<dyn HealthDetector>> =
+            vec![Box::new(CounterAnomalyDetector::new(None))];
+        let monitor = HealthMonitor::new(detectors, None);
+        for event in events {
+            use secloc_obs::EventSink as _;
+            monitor.emit(event);
+        }
+        monitor.finish();
+        monitor
+            .alerts()
+            .iter()
+            .map(|a| a.detector.clone())
+            .collect()
+    };
+
+    assert!(replay(&events).is_empty(), "clean stream must stay healthy");
+
+    let mut doctored = events.clone();
+    let summary = doctored
+        .iter_mut()
+        .find(|e| e.kind == "alerts.summary")
+        .expect("sweep emits alerts.summary");
+    for (name, value) in &mut summary.fields {
+        if name == "delivered" {
+            if let Value::U64(v) = value {
+                *v += 1; // one decision went uncounted
+            }
+        }
+    }
+    let alerts = replay(&doctored);
+    assert!(
+        alerts.iter().any(|d| d == "counter_anomaly"),
+        "doctored stream must trip the detector, got {alerts:?}"
+    );
 }
 
 #[test]

@@ -2,10 +2,13 @@
 //! resumed from its checkpoint is bit-identical to an uninterrupted one,
 //! and a warm cache replays a sweep without executing a single cell.
 
+use secloc_obs::{Event, EventSink, FlightRecorder, Obs};
+use secloc_sim::orchestrator::cell_key;
 use secloc_sim::{Orchestrator, SimConfig, SweepSpec};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn tiny(attacker_p: f64) -> SimConfig {
     SimConfig {
@@ -200,6 +203,65 @@ fn cache_keys_are_tag_scoped() {
     // While the original tag still hits.
     let again = Orchestrator::new().cache(&cache).run(&spec).unwrap();
     assert_eq!(again.cache_hits, 2);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A sink that panics the first time it sees `kind` — stands in for a
+/// cell whose simulation dies mid-flight.
+struct PanicOn(&'static str);
+
+impl EventSink for PanicOn {
+    fn emit(&self, event: &Event) {
+        assert_ne!(event.kind, self.0, "injected mid-cell failure");
+    }
+}
+
+#[test]
+fn panicking_cell_leaves_a_flight_dump_of_its_trace() {
+    // Kill the first cell mid-simulation (at its `run.end` event) and
+    // check the post-mortem contract: the orchestrator re-raises the
+    // panic, and the flight recorder has dumped that cell's event tail to
+    // `flightrec_<key>.jsonl` — every line carrying the dead cell's trace.
+    let spec = SweepSpec::single(&tiny(0.5), &[77]);
+    let dir = scratch("flightrec");
+    let key = cell_key(
+        &spec.cells()[0].config,
+        77,
+        &secloc_sim::orchestrator::code_version_tag(),
+    );
+
+    let obs = Obs::new(None, Some(Arc::new(PanicOn("run.end"))));
+    let recorder = Arc::new(FlightRecorder::new(256));
+    let orch = Orchestrator::new()
+        .workers(1)
+        .observed(&obs)
+        .flight_recorder(recorder.clone(), &dir);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the injected panic quiet
+    let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| orch.run(&spec)));
+    std::panic::set_hook(hook);
+    assert!(died.is_err(), "the injected panic must propagate");
+
+    let dump_path = dir.join(format!("flightrec_{key}.jsonl"));
+    let dump = fs::read_to_string(&dump_path).expect("flight dump written on panic");
+    let lines: Vec<&str> = dump.lines().collect();
+    assert!(!lines.is_empty(), "dump replays the cell's events");
+    let trace = format!("\"trace\":\"{key}\"");
+    for line in &lines {
+        assert!(
+            line.contains(&trace),
+            "dump line from a foreign trace: {line}"
+        );
+    }
+    assert!(
+        dump.contains("\"kind\":\"cell.start\"") && dump.contains("\"kind\":\"run.start\""),
+        "dump covers the cell's lifecycle up to the failure"
+    );
+    assert!(
+        !dump.contains("\"kind\":\"run.end\""),
+        "the event that killed the cell never reached the recorder"
+    );
 
     fs::remove_dir_all(&dir).ok();
 }

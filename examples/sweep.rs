@@ -1,22 +1,38 @@
 //! Sweep CLI: run an `attacker_p × seed` grid through the orchestrator
-//! with caching, checkpointing, and live progress from the obs counters.
+//! with caching, checkpointing, live progress, and an optional health
+//! watchdog + flight recorder over the event stream.
 //!
 //! ```text
 //! cargo run --release --example sweep -- \
 //!     [--p 0.1,0.3,0.5] [--seeds 5] [--workers 0] \
 //!     [--nodes 1000 --beacons 100 --malicious 10] \
 //!     [--cache results/sweep_cache.jsonl] \
-//!     [--checkpoint results/sweep_checkpoint.jsonl]
+//!     [--checkpoint results/sweep_checkpoint.jsonl] \
+//!     [--events results/sweep_events.jsonl] \
+//!     [--flightrec results] [--watchdog] [--stall-timeout 30]
 //! ```
 //!
 //! Interrupt it mid-run and re-run the same command: the checkpoint
 //! replays the finished prefix and only the remainder is simulated. Run it
 //! twice to completion and the second invocation reports 100% cache hits.
+//!
+//! With `--watchdog` the event stream is monitored inline by the
+//! `secloc_obs::health` detectors (stalled stream, revocation-counter
+//! anomalies, cache-hit collapse, checkpoint gap); any alert makes the
+//! process exit with status 2 after printing what fired. With
+//! `--flightrec DIR` a bounded flight recorder taps the stream and a
+//! panicking cell (or a detected cache conflict) dumps its trace to
+//! `DIR/flightrec_<cellkey>.jsonl` for post-mortem replay.
 
-use secloc::obs::{MetricsRegistry, Obs};
+use secloc::obs::health::{
+    CacheHitRateDetector, CheckpointGapDetector, CounterAnomalyDetector, HealthDetector,
+    HealthMonitor, StalledStreamDetector,
+};
+use secloc::obs::{EventSink, FlightRecorder, JsonlSink, MetricsRegistry, Obs};
 use secloc::sim::{average_outcomes, Orchestrator, SimConfig, SweepSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Args {
     p_values: Vec<f64>,
@@ -27,6 +43,10 @@ struct Args {
     malicious: u32,
     cache: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
+    events: Option<PathBuf>,
+    flightrec: Option<PathBuf>,
+    watchdog: bool,
+    stall_timeout: u64,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +59,10 @@ fn parse_args() -> Args {
         malicious: 3,
         cache: Some(PathBuf::from("results/sweep_cache.jsonl")),
         checkpoint: Some(PathBuf::from("results/sweep_checkpoint.jsonl")),
+        events: None,
+        flightrec: None,
+        watchdog: false,
+        stall_timeout: 30,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +98,14 @@ fn parse_args() -> Args {
             "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
             "--no-cache" => args.cache = None,
             "--no-checkpoint" => args.checkpoint = None,
+            "--events" => args.events = Some(PathBuf::from(value("--events"))),
+            "--flightrec" => args.flightrec = Some(PathBuf::from(value("--flightrec"))),
+            "--watchdog" => args.watchdog = true,
+            "--stall-timeout" => {
+                args.stall_timeout = value("--stall-timeout")
+                    .parse()
+                    .expect("--stall-timeout takes seconds")
+            }
             other => panic!("unknown flag {other} (see the doc comment for usage)"),
         }
     }
@@ -102,8 +134,42 @@ fn main() {
         spec.len()
     );
 
+    // Sink chain, innermost first: JSONL file <- health monitor. The
+    // flight recorder is handed to the orchestrator, which fans it into
+    // whatever chain is installed here.
     let registry = Arc::new(MetricsRegistry::new());
-    let obs = Obs::with_metrics(registry.clone());
+    let events_sink: Option<Arc<JsonlSink>> = args.events.as_ref().map(|path| {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create events dir");
+            }
+        }
+        Arc::new(JsonlSink::create(path).expect("create events file"))
+    });
+    let downstream: Option<Arc<dyn EventSink + Send + Sync>> = events_sink
+        .clone()
+        .map(|s| s as Arc<dyn EventSink + Send + Sync>);
+    let monitor: Option<Arc<HealthMonitor>> = args.watchdog.then(|| {
+        let detectors: Vec<Box<dyn HealthDetector>> = vec![
+            Box::new(StalledStreamDetector::new(Duration::from_secs(
+                args.stall_timeout,
+            ))),
+            Box::new(CounterAnomalyDetector::new(None)),
+            Box::new(CacheHitRateDetector::new(0.5, 16)),
+            Box::new(CheckpointGapDetector::new(64)),
+        ];
+        Arc::new(HealthMonitor::new(detectors, downstream.clone()))
+    });
+    let sink: Option<Arc<dyn EventSink + Send + Sync>> = match &monitor {
+        Some(m) => Some(m.clone() as Arc<dyn EventSink + Send + Sync>),
+        None => downstream,
+    };
+    let obs = Obs::new(Some(registry.clone()), sink);
+
+    let recorder = args
+        .flightrec
+        .as_ref()
+        .map(|_| Arc::new(FlightRecorder::new(4096)));
     let mut orch = Orchestrator::new().workers(args.workers).observed(&obs);
     if let Some(cache) = &args.cache {
         orch = orch.cache(cache);
@@ -111,22 +177,52 @@ fn main() {
     if let Some(checkpoint) = &args.checkpoint {
         orch = orch.checkpoint(checkpoint);
     }
+    if let (Some(recorder), Some(dir)) = (&recorder, &args.flightrec) {
+        orch = orch.flight_recorder(recorder.clone(), dir);
+    }
 
-    // Progress from the obs counters, polled while the sweep runs.
+    // Live progress from the obs counters, polled while the sweep runs;
+    // the same loop drives the watchdog's wall-clock detectors.
     let done_counter = registry.counter("sweep.cells_done");
+    let resumed_counter = registry.counter("sweep.cells_resumed");
+    let cached_counter = registry.counter("sweep.cells_cached");
     let total = spec.len() as u64;
+    let started = Instant::now();
+    let tick_monitor = monitor.clone();
     let report = std::thread::scope(|scope| {
         let progress = scope.spawn(move || {
             let mut last = u64::MAX;
             loop {
                 let done = done_counter.get();
                 if done != last {
-                    eprint!("\r  {done}/{total} cells done");
+                    let reused = resumed_counter.get() + cached_counter.get();
+                    let reuse_pct = if done > 0 {
+                        100.0 * reused.min(done) as f64 / done as f64
+                    } else {
+                        0.0
+                    };
+                    let elapsed = started.elapsed().as_secs_f64();
+                    let rate = if elapsed > 0.0 {
+                        done as f64 / elapsed
+                    } else {
+                        0.0
+                    };
+                    let eta = if rate > 0.0 {
+                        (total - done) as f64 / rate
+                    } else {
+                        f64::INFINITY
+                    };
+                    eprint!(
+                        "\r  {done}/{total} cells | {rate:.1} cells/s | reuse {reuse_pct:.0}% | ETA {eta:.0}s   "
+                    );
                     last = done;
                 }
                 if done >= total {
                     eprintln!();
                     return;
+                }
+                if let Some(m) = &tick_monitor {
+                    m.tick();
                 }
                 std::thread::sleep(std::time::Duration::from_millis(50));
             }
@@ -158,5 +254,37 @@ fn main() {
     }
     if let Some(checkpoint) = &args.checkpoint {
         println!("checkpoint: {}", checkpoint.display());
+    }
+
+    // End-of-stream invariants, then surface sink I/O errors loudly: a
+    // silently truncated event log is worse than a failed run.
+    if let Some(m) = &monitor {
+        m.finish();
+    }
+    if let Some(sink) = &events_sink {
+        if let Err(err) = sink.try_flush() {
+            eprintln!("events sink error: {err}");
+            std::process::exit(1);
+        }
+        if let Some(path) = &args.events {
+            println!("events: {}", path.display());
+        }
+    }
+    if let Some(m) = &monitor {
+        let alerts = m.alerts();
+        if !alerts.is_empty() {
+            eprintln!("\nWATCHDOG: {} health alert(s)", alerts.len());
+            for alert in &alerts {
+                eprintln!("  [{}] {}", alert.detector, alert.message);
+            }
+            if let (Some(recorder), Some(dir)) = (&recorder, &args.flightrec) {
+                let path = dir.join("flightrec_health.jsonl");
+                if let Ok(n) = recorder.dump(&path) {
+                    eprintln!("  flight dump: {} ({n} events)", path.display());
+                }
+            }
+            std::process::exit(2);
+        }
+        println!("watchdog: healthy");
     }
 }
