@@ -227,6 +227,31 @@ fn collect_metrics(
                 Limit::Floor(floor),
             ));
         }
+        if let Some(v) = number_at(perf, &["sweep_scale", "efficiency"]) {
+            let floor = number_at(perf, &["sweep_scale", "efficiency_target"]).unwrap_or(0.7);
+            out.push((
+                "perf.sweep_scale.efficiency".to_string(),
+                v,
+                Limit::Floor(floor),
+            ));
+        }
+        if let Some(v) = number_at(perf, &["sweep_scale", "warm_ratio"]) {
+            // A warm start that probes the index is O(hits): flooding the
+            // cache with dead cells must not move its latency.
+            let ceiling = number_at(perf, &["sweep_scale", "warm_ratio_target"]).unwrap_or(2.0);
+            out.push((
+                "perf.sweep_scale.warm_ratio".to_string(),
+                v,
+                Limit::Ceiling(ceiling),
+            ));
+        }
+        if let Some(v) = number_at(perf, &["sweep_scale", "ns_per_cell_best"]) {
+            // Trend-only cost per cell (lower is better, which is what
+            // `Limit::None`'s baseline check assumes): machine-dependent,
+            // so no hard limit, but a rise against the trailing median
+            // warns.
+            out.push(("perf.sweep_scale.ns_per_cell".to_string(), v, Limit::None));
+        }
     }
     if let Some(obs) = obs {
         if let Some(v) = number_at(obs, &["overhead_ratio"]) {
@@ -399,6 +424,11 @@ fn validate_events(path: &Path) -> Result<usize, String> {
             "cell.start" => require_u64("tau_prime")?,
             "cell.complete" => require_str("cache")?,
             "checkpoint.advance" => require_u64("frontier")?,
+            "sweep.worker" => {
+                require_u64("worker")?;
+                require_u64("units")?;
+                require_u64("steals")?;
+            }
             "sweep.end" => {
                 require_u64("cells")?;
                 require_u64("resumed")?;

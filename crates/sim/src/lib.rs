@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod config;
 mod deploy;
 pub mod distributed;
@@ -50,11 +51,12 @@ mod runner;
 pub mod sweep;
 pub mod trace;
 
+pub use cache::{BinaryCache, CacheRecovery};
 pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use deploy::{Deployment, NodeKind};
 pub use experiment::Experiment;
 pub use metrics::{average_outcomes, AggregateOutcome, SimOutcome};
-pub use orchestrator::{Orchestrator, SweepCell, SweepReport, SweepSpec};
+pub use orchestrator::{CacheFormat, Orchestrator, SweepCell, SweepReport, SweepSpec, WorkerStats};
 pub use probe::{ProbeContext, ProbeFaults, ProbeResult};
 pub use report::RunReport;
 pub use runner::{ImpactMemo, ProbeStage, RunOptions, RunOutput, Runner};

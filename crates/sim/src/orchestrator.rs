@@ -39,6 +39,7 @@
 //! assert_eq!(report.outcomes.len(), 3);
 //! ```
 
+use crate::cache::BinaryCache;
 use crate::{ImpactMemo, RunOptions, Runner, SimConfig, SimOutcome};
 use secloc_obs::{EventSink, FanoutSink, FlightRecorder, Obs, SpanContext, Value};
 use std::collections::HashMap;
@@ -47,8 +48,10 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::Instant;
 
 /// Bumped whenever a code change alters simulation outcomes for an
 /// unchanged `(config, seed)` — cache and checkpoint entries keyed under
@@ -109,7 +112,7 @@ impl CellKey {
 
 /// 64-bit FNV-1a over `bytes` — stable across platforms and releases,
 /// unlike `std::hash`'s unspecified `SipHash` keys.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -516,6 +519,12 @@ impl ResultCache {
         self.entries.get(&key.0)
     }
 
+    /// Every entry, in unspecified order (migration tooling sorts by key
+    /// for deterministic output).
+    pub fn entries(&self) -> impl Iterator<Item = (CellKey, &SimOutcome)> {
+        self.entries.iter().map(|(&k, o)| (CellKey(k), o))
+    }
+
     /// Records `outcome` under `key`; persisted caches append one line.
     /// Re-inserting an existing key is a no-op (outcomes are pure
     /// functions of their key).
@@ -559,6 +568,98 @@ pub enum CacheInsert {
     /// The key was already present with a **different** outcome — the
     /// cache's purity invariant is violated.
     Conflict,
+}
+
+/// On-disk representation of a persisted result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheFormat {
+    /// Decide from the path: a `.jsonl` extension keeps the PR 4-era
+    /// [`ResultCache`] line format, anything else is a [`BinaryCache`]
+    /// directory.
+    #[default]
+    Auto,
+    /// Append-only JSONL file — human-greppable, but warm start replays
+    /// (parses) the whole file: O(file).
+    Jsonl,
+    /// Sharded fixed-width records plus a persistent key index — warm
+    /// start probes per cell: O(hits), independent of cache size. See
+    /// [`crate::cache`].
+    Binary,
+}
+
+impl CacheFormat {
+    /// Parses the CLI spelling (`auto` / `jsonl` / `binary`).
+    pub fn parse(s: &str) -> Option<CacheFormat> {
+        match s {
+            "auto" => Some(CacheFormat::Auto),
+            "jsonl" => Some(CacheFormat::Jsonl),
+            "binary" | "bin" => Some(CacheFormat::Binary),
+            _ => None,
+        }
+    }
+
+    fn resolve(self, path: &Path) -> CacheFormat {
+        match self {
+            CacheFormat::Auto => {
+                if path.extension().is_some_and(|e| e == "jsonl") {
+                    CacheFormat::Jsonl
+                } else {
+                    CacheFormat::Binary
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// The cache the orchestrator talks to — in-memory, JSONL, or sharded
+/// binary — behind one get/insert surface so the run loop is agnostic.
+#[derive(Debug)]
+enum CacheBackend {
+    Jsonl(ResultCache),
+    Binary(BinaryCache),
+}
+
+impl CacheBackend {
+    fn open(path: &Path, format: CacheFormat, expected_cells: usize) -> io::Result<Self> {
+        match format.resolve(path) {
+            CacheFormat::Jsonl => Ok(CacheBackend::Jsonl(ResultCache::open(path)?)),
+            _ => Ok(CacheBackend::Binary(BinaryCache::open(
+                path,
+                expected_cells,
+            )?)),
+        }
+    }
+
+    fn get(&self, key: CellKey) -> io::Result<Option<SimOutcome>> {
+        match self {
+            CacheBackend::Jsonl(cache) => Ok(cache.get(key).cloned()),
+            CacheBackend::Binary(cache) => cache.get(key),
+        }
+    }
+
+    fn insert_checked(&mut self, key: CellKey, outcome: SimOutcome) -> io::Result<CacheInsert> {
+        match self {
+            CacheBackend::Jsonl(cache) => cache.insert_checked(key, outcome),
+            CacheBackend::Binary(cache) => cache.insert_checked(key, outcome),
+        }
+    }
+
+    /// Record shards backing the cache (0 = not sharded / not binary).
+    fn shard_count(&self) -> u32 {
+        match self {
+            CacheBackend::Jsonl(_) => 0,
+            CacheBackend::Binary(cache) => cache.shard_count(),
+        }
+    }
+
+    /// The shard `key`'s record lands in, for telemetry.
+    fn shard_of(&self, key: CellKey) -> Option<u32> {
+        match self {
+            CacheBackend::Jsonl(_) => None,
+            CacheBackend::Binary(cache) => Some(cache.shard_of(key)),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -655,6 +756,29 @@ fn load_checkpoint_prefix(
 // Orchestrator
 // ---------------------------------------------------------------------------
 
+/// What one worker thread of a sweep did. Scheduling is work-stealing, so
+/// these numbers describe load balance, not outcomes — outcomes are
+/// scheduling-independent by construction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerStats {
+    /// Worker index within the pool (0-based).
+    pub worker: usize,
+    /// Scheduling units this worker claimed and ran.
+    pub units: u64,
+    /// Cells simulated across those units.
+    pub cells: u64,
+    /// Batches claimed from the shared queue.
+    pub batches: u64,
+    /// Batches claimed beyond the worker's first — each one is work this
+    /// worker pulled that a static contiguous-chunk split would have left
+    /// pinned on another thread.
+    pub steals: u64,
+    /// Wall time spent simulating units.
+    pub busy_ns: u64,
+    /// Wall time alive but not simulating (queue empty, channel sends).
+    pub idle_ns: u64,
+}
+
 /// What one sweep did, beyond the outcomes themselves.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -666,8 +790,48 @@ pub struct SweepReport {
     pub cache_hits: usize,
     /// Cells actually simulated this run.
     pub executed: usize,
-    /// Worker threads spawned (0 when nothing needed simulating).
+    /// Worker threads spawned: `min(requested workers, scheduling units)`
+    /// (0 when nothing needed simulating). Deterministic for a given spec.
     pub workers_spawned: usize,
+    /// Workers that actually ran at least one unit — under work-stealing
+    /// a fast sweep can drain the queue before every spawned worker gets
+    /// a claim in, so this can be lower than `workers_spawned`. This is
+    /// what the `sweep.workers_used` gauge reports.
+    pub workers_used: usize,
+    /// Total batches stolen (claimed beyond each worker's first) across
+    /// the pool.
+    pub steal_batches: u64,
+    /// Executed cells per wall-clock second of the execution phase (0.0
+    /// when nothing was executed).
+    pub cells_per_sec: f64,
+    /// Shards of the binary result cache backing this sweep (0 when the
+    /// cache is JSONL or in-memory).
+    pub cache_shards: u32,
+    /// Per-worker load-balance stats, indexed by worker id.
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+/// Claims the next batch of scheduling units off the shared queue. Batch
+/// size shrinks as the queue drains — `remaining / (workers × 4)`,
+/// floored at 1 — so early claims amortize the atomic while the tail
+/// hands out single units for balance; the unit *order* (largest first)
+/// plus this sizing is what keeps a skewed grid from pinning the sweep to
+/// its slowest contiguous chunk.
+fn claim_batch(cursor: &AtomicUsize, total: usize, workers: usize) -> std::ops::Range<usize> {
+    loop {
+        let start = cursor.load(Ordering::SeqCst);
+        if start >= total {
+            return total..total;
+        }
+        let remaining = total - start;
+        let take = (remaining / (workers * 4)).clamp(1, remaining);
+        if cursor
+            .compare_exchange(start, start + take, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return start..start + take;
+        }
+    }
 }
 
 /// The sweep engine. Configure with the builder methods, then [`run`]
@@ -676,6 +840,7 @@ pub struct SweepReport {
 pub struct Orchestrator {
     workers: usize,
     cache_path: Option<PathBuf>,
+    cache_format: CacheFormat,
     checkpoint_path: Option<PathBuf>,
     obs: Obs,
     tag: Option<String>,
@@ -688,6 +853,7 @@ impl Default for Orchestrator {
         Orchestrator {
             workers: 0,
             cache_path: None,
+            cache_format: CacheFormat::Auto,
             checkpoint_path: None,
             obs: Obs::default(),
             tag: None,
@@ -704,18 +870,38 @@ impl Orchestrator {
         Orchestrator::default()
     }
 
-    /// Caps the worker pool at `n` threads (0 = one per available core).
-    /// The pool is additionally capped at the number of cells that
-    /// actually need simulating, so small or mostly-cached sweeps never
-    /// spawn idle threads.
+    /// Caps the worker pool at `n` threads. **`workers(0)` (the default)
+    /// means one worker per available core** — it resolves to
+    /// [`std::thread::available_parallelism`] at run time, falling back
+    /// to 1 when the parallelism is unknowable. The pool is additionally
+    /// capped at the number of scheduling units that actually need
+    /// simulating, so small or mostly-cached sweeps never spawn idle
+    /// threads; [`SweepReport::workers_spawned`] records the clamped pool
+    /// size and [`SweepReport::workers_used`] how many of those workers
+    /// claimed at least one unit. Workers pull units off a shared
+    /// work-stealing queue (largest units first, shrinking batches), so
+    /// heterogeneous cell costs rebalance instead of serializing on the
+    /// slowest static chunk; outcomes, cache bytes and checkpoint bytes
+    /// are identical for every worker count.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n;
         self
     }
 
-    /// Persists the result cache at `path` (JSONL, see [`ResultCache`]).
+    /// Persists the result cache at `path`. The on-disk format follows
+    /// [`Orchestrator::cache_format`] — by default a `.jsonl` path keeps
+    /// the PR 4-era [`ResultCache`] line format and anything else is a
+    /// sharded, indexed [`BinaryCache`] directory whose warm-start cost
+    /// is O(probed cells) rather than O(file).
     pub fn cache(mut self, path: impl Into<PathBuf>) -> Self {
         self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Overrides the on-disk cache format (default [`CacheFormat::Auto`]:
+    /// decide from the path's extension).
+    pub fn cache_format(mut self, format: CacheFormat) -> Self {
+        self.cache_format = format;
         self
     }
 
@@ -727,9 +913,12 @@ impl Orchestrator {
     }
 
     /// Reports progress on `obs`: counters `sweep.cells_{total,resumed,
-    /// cached,executed,done}` and gauge `sweep.workers`, plus `sweep.start`
-    /// / `sweep.end` events. Telemetry never touches the cells' RNG
-    /// streams, so observed and unobserved sweeps are bit-identical.
+    /// cached,executed,done}` and `sweep.steal_batches`, gauges
+    /// `sweep.workers` (pool spawned), `sweep.workers_used` (workers that
+    /// ran ≥ 1 unit), `sweep.cache_shards` and `sweep.cells_per_sec`,
+    /// plus `sweep.start` / `sweep.worker` / `sweep.end` events.
+    /// Telemetry never touches the cells' RNG streams, so observed and
+    /// unobserved sweeps are bit-identical.
     pub fn observed(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
         self
@@ -818,12 +1007,20 @@ impl Orchestrator {
         let resumed = prefix.len();
         obs.add("sweep.cells_resumed", resumed as u64);
 
-        // 2. Consult the cache for everything past the prefix.
+        // 2. Consult the cache for everything past the prefix. A binary
+        //    cache probes its index per key — O(grid), never O(cache) —
+        //    so warm-start latency is independent of how many dead cells
+        //    the cache file has accumulated.
         let mut cache = match &self.cache_path {
-            Some(path) => ResultCache::open(path)?,
-            None => ResultCache::in_memory(),
+            Some(path) => Some(CacheBackend::open(path, self.cache_format, spec.len())?),
+            None => None,
         };
+        let cache_shards = cache.as_ref().map_or(0, |c| c.shard_count());
+        obs.set_gauge("sweep.cache_shards", i64::from(cache_shards));
         let mut results: Vec<Option<SimOutcome>> = vec![None; spec.len()];
+        // Cells already persisted in the cache: their frontier flush must
+        // not pay a redundant read-back probe.
+        let mut in_cache: Vec<bool> = vec![false; spec.len()];
         for (i, outcome) in prefix.into_iter().enumerate() {
             if obs.sink_attached() {
                 cell_scope(&obs, keys[i], spec.cells()[i].seed).emit(
@@ -836,8 +1033,13 @@ impl Orchestrator {
         let mut cache_hits = 0usize;
         let mut pending: Vec<usize> = Vec::new();
         for i in resumed..spec.len() {
-            if let Some(hit) = cache.get(keys[i]) {
-                results[i] = Some(hit.clone());
+            let hit = match &cache {
+                Some(cache) => cache.get(keys[i])?,
+                None => None,
+            };
+            if let Some(hit) = hit {
+                results[i] = Some(hit);
+                in_cache[i] = true;
                 cache_hits += 1;
                 if obs.sink_attached() {
                     cell_scope(&obs, keys[i], spec.cells()[i].seed)
@@ -854,8 +1056,8 @@ impl Orchestrator {
         //    on, cells with the same probe fingerprint form one unit that
         //    deploys + probes once (first-appearance order, so a pure
         //    policy sweep stays in sweep order); with sharing off every
-        //    cell is its own unit. Units shard over the worker pool in
-        //    contiguous chunks, never more workers than units.
+        //    cell is its own unit. Units go into a shared work-stealing
+        //    queue, never more workers than units.
         let units: Vec<Vec<usize>> = if self.sharing {
             let mut by_fp: HashMap<String, usize> = HashMap::new();
             let mut grouped: Vec<Vec<usize>> = Vec::new();
@@ -881,6 +1083,12 @@ impl Orchestrator {
         };
         let workers = requested.min(units.len());
         obs.set_gauge("sweep.workers", workers as i64);
+        // Queue order: largest units first (unit size is the one cost
+        // signal known up front), stable within equal sizes so a uniform
+        // grid still drains in sweep order. Scheduling order is invisible
+        // in every output — results merge at the frontier in cell order.
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by_key(|&u| std::cmp::Reverse(units[u].len()));
 
         // 4. Stream results: workers push (cell index, outcome); the main
         //    thread advances the completion frontier in cell order,
@@ -901,12 +1109,14 @@ impl Orchestrator {
         };
         let mut frontier = 0usize; // next cell whose line is unwritten
         let flight = self.flight.as_ref();
+        let in_cache = &in_cache;
         let mut flush_frontier = |results: &[Option<SimOutcome>],
                                   frontier: &mut usize,
-                                  cache: &mut ResultCache,
+                                  cache: &mut Option<CacheBackend>,
                                   obs: &Obs|
          -> io::Result<()> {
             let advanced_from = *frontier;
+            let mut last_shard: Option<u32> = None;
             while *frontier < results.len() {
                 let Some(outcome) = &results[*frontier] else {
                     break;
@@ -920,51 +1130,71 @@ impl Orchestrator {
                     )?;
                     file.flush()?;
                 }
-                if cache.insert_checked(key, outcome.clone())? == CacheInsert::Conflict {
-                    // The purity contract broke: same key, different
-                    // outcome. Keep going (the fresh result stands in the
-                    // checkpoint) but surface it as a health event and
-                    // preserve the cell's trace for the post-mortem.
-                    cell_scope(obs, key, spec.cells()[*frontier].seed).emit(
-                        "health.cache_conflict",
-                        &[(
-                            "message",
-                            Value::Str(format!(
-                                "cell {key} produced an outcome different from its cache entry"
-                            )),
-                        )],
-                    );
-                    if let Some((recorder, dir)) = flight {
-                        let _ =
-                            recorder.dump_trace(dir.join(format!("flightrec_{key}.jsonl")), key.0);
+                // Cells that came *from* the cache are by definition
+                // already present — skip the read-back probe.
+                if let Some(cache) = cache.as_mut().filter(|_| !in_cache[*frontier]) {
+                    last_shard = cache.shard_of(key);
+                    if cache.insert_checked(key, outcome.clone())? == CacheInsert::Conflict {
+                        // The purity contract broke: same key, different
+                        // outcome. Keep going (the fresh result stands in
+                        // the checkpoint) but surface it as a health event
+                        // and preserve the cell's trace for the
+                        // post-mortem.
+                        cell_scope(obs, key, spec.cells()[*frontier].seed).emit(
+                            "health.cache_conflict",
+                            &[(
+                                "message",
+                                Value::Str(format!(
+                                    "cell {key} produced an outcome different from its cache entry"
+                                )),
+                            )],
+                        );
+                        if let Some((recorder, dir)) = flight {
+                            let _ = recorder
+                                .dump_trace(dir.join(format!("flightrec_{key}.jsonl")), key.0);
+                        }
                     }
                 }
                 obs.incr("sweep.cells_done");
                 *frontier += 1;
             }
             if checkpoint_file.is_some() && *frontier > advanced_from {
-                obs.emit(
-                    "checkpoint.advance",
-                    &[("frontier", Value::U64(*frontier as u64))],
-                );
+                // The `shard` field names the binary-cache shard the last
+                // flushed record appended to, so a stream reader can
+                // follow per-shard append progress.
+                match last_shard {
+                    Some(shard) => obs.emit(
+                        "checkpoint.advance",
+                        &[
+                            ("frontier", Value::U64(*frontier as u64)),
+                            ("shard", Value::U64(u64::from(shard))),
+                        ],
+                    ),
+                    None => obs.emit(
+                        "checkpoint.advance",
+                        &[("frontier", Value::U64(*frontier as u64))],
+                    ),
+                }
             }
             Ok(())
         };
         // Everything known up front (resumed + cached) checkpoints first.
         flush_frontier(&results, &mut frontier, &mut cache, &obs)?;
 
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        let exec_started = Instant::now();
         if !pending.is_empty() {
             let (tx, rx) = mpsc::channel::<(usize, SimOutcome)>();
             let expected = pending.len();
             let mut io_result: io::Result<()> = Ok(());
+            let cursor = AtomicUsize::new(0);
+            let stats_out = &mut worker_stats;
             thread::scope(|scope| {
-                let base = units.len() / workers;
-                let extra = units.len() % workers;
-                let mut offset = 0usize;
+                let cursor = &cursor;
+                let order = &order;
+                let units = &units;
+                let mut handles = Vec::with_capacity(workers);
                 for w in 0..workers {
-                    let take = base + usize::from(w < extra);
-                    let chunk = &units[offset..offset + take];
-                    offset += take;
                     let tx = tx.clone();
                     let ctx = WorkerCtx {
                         cells: spec.cells(),
@@ -972,18 +1202,40 @@ impl Orchestrator {
                         obs: &obs,
                         flight,
                     };
-                    scope.spawn(move || {
-                        for unit in chunk {
-                            if run_unit(ctx, unit, &tx).is_err() {
-                                return; // receiver bailed on an I/O error
+                    handles.push(scope.spawn(move || {
+                        let alive = Instant::now();
+                        let mut stats = WorkerStats {
+                            worker: w,
+                            ..WorkerStats::default()
+                        };
+                        'steal: loop {
+                            let batch = claim_batch(cursor, order.len(), workers);
+                            if batch.is_empty() {
+                                break;
+                            }
+                            stats.batches += 1;
+                            stats.steals += u64::from(stats.batches > 1);
+                            for &u in &order[batch] {
+                                let unit = &units[u];
+                                stats.units += 1;
+                                stats.cells += unit.len() as u64;
+                                let busy = Instant::now();
+                                let sent = run_unit(ctx, unit, &tx);
+                                stats.busy_ns += busy.elapsed().as_nanos() as u64;
+                                if sent.is_err() {
+                                    break 'steal; // receiver bailed on I/O
+                                }
                             }
                         }
-                    });
+                        stats.idle_ns =
+                            (alive.elapsed().as_nanos() as u64).saturating_sub(stats.busy_ns);
+                        stats
+                    }));
                 }
                 drop(tx);
                 for _ in 0..expected {
                     let Ok((i, outcome)) = rx.recv() else {
-                        break; // a worker panicked; scope join re-raises it
+                        break; // a worker panicked; the joins re-raise it
                     };
                     results[i] = Some(outcome);
                     io_result = flush_frontier(&results, &mut frontier, &mut cache, &obs);
@@ -991,8 +1243,42 @@ impl Orchestrator {
                         break;
                     }
                 }
+                for handle in handles {
+                    match handle.join() {
+                        Ok(stats) => stats_out.push(stats),
+                        Err(payload) => panic::resume_unwind(payload),
+                    }
+                }
             });
             io_result?;
+        }
+
+        let workers_used = worker_stats.iter().filter(|s| s.units > 0).count();
+        let steal_batches: u64 = worker_stats.iter().map(|s| s.steals).sum();
+        let exec_secs = exec_started.elapsed().as_secs_f64();
+        let cells_per_sec = if pending.is_empty() || exec_secs <= 0.0 {
+            0.0
+        } else {
+            pending.len() as f64 / exec_secs
+        };
+        obs.set_gauge("sweep.workers_used", workers_used as i64);
+        obs.set_gauge("sweep.cells_per_sec", cells_per_sec as i64);
+        obs.add("sweep.steal_batches", steal_batches);
+        if obs.sink_attached() {
+            for s in &worker_stats {
+                obs.emit(
+                    "sweep.worker",
+                    &[
+                        ("worker", Value::U64(s.worker as u64)),
+                        ("units", Value::U64(s.units)),
+                        ("cells", Value::U64(s.cells)),
+                        ("batches", Value::U64(s.batches)),
+                        ("steals", Value::U64(s.steals)),
+                        ("busy_ns", Value::U64(s.busy_ns)),
+                        ("idle_ns", Value::U64(s.idle_ns)),
+                    ],
+                );
+            }
         }
 
         let outcomes: Vec<SimOutcome> = results
@@ -1016,6 +1302,11 @@ impl Orchestrator {
             cache_hits,
             executed: pending.len(),
             workers_spawned: workers,
+            workers_used,
+            steal_batches,
+            cells_per_sec,
+            cache_shards,
+            worker_stats,
         })
     }
 }

@@ -1,0 +1,303 @@
+//! Crash-recovery and determinism guarantees of the sharded binary result
+//! cache (`secloc_sim::cache`):
+//!
+//! - every externally inducible corruption — a garbage tail appended to a
+//!   shard, a record torn in half, a deleted index, a shard truncated
+//!   behind the index's back, an index that missed the last appends — is
+//!   repaired on open and costs at most the damaged entries;
+//! - scheduling is invisible in the bytes: serial, multi-worker and
+//!   kill-anywhere-resume sweeps produce byte-identical checkpoints *and*
+//!   byte-identical cache directories (index + every shard).
+
+use proptest::prelude::*;
+use secloc_sim::cache::RECORD_LEN;
+use secloc_sim::{BinaryCache, CacheFormat, Orchestrator, SimConfig, SweepSpec};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tiny(attacker_p: f64) -> SimConfig {
+    SimConfig {
+        nodes: 120,
+        beacons: 12,
+        malicious: 3,
+        attacker_p,
+        ..SimConfig::paper_default()
+    }
+}
+
+fn grid() -> SweepSpec {
+    SweepSpec::product(&[tiny(0.3), tiny(0.7)], &[1, 2, 3])
+}
+
+/// A unique temp dir per test — the suite runs tests in parallel.
+fn scratch(label: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "secloc-cachebin-{label}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cold_binary_sweep(dir: &Path, spec: &SweepSpec) -> PathBuf {
+    let cache = dir.join("cache.bin");
+    let report = Orchestrator::new()
+        .workers(2)
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(spec)
+        .unwrap();
+    assert_eq!(report.executed, spec.len());
+    assert!(report.cache_shards >= 1);
+    cache
+}
+
+/// Sorted (name, bytes) of everything in a binary cache directory — the
+/// equality notion for "identical cache contents".
+fn dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn shard_path(cache: &Path) -> PathBuf {
+    cache.join("shard-000.bin")
+}
+
+#[test]
+fn garbage_shard_tail_is_truncated_on_open() {
+    let dir = scratch("tail");
+    let spec = grid();
+    let cache = cold_binary_sweep(&dir, &spec);
+
+    // A crash mid-append leaves bytes that never form a valid record.
+    let clean_len = fs::metadata(shard_path(&cache)).unwrap().len();
+    let mut bytes = fs::read(shard_path(&cache)).unwrap();
+    bytes.extend_from_slice(&[0xAB; 37]);
+    fs::write(shard_path(&cache), &bytes).unwrap();
+
+    let reopened = BinaryCache::open(&cache, 0).unwrap();
+    assert_eq!(reopened.recovery().truncated_bytes, 37);
+    assert!(!reopened.recovery().rebuilt_index);
+    assert_eq!(reopened.len(), spec.len());
+    assert_eq!(fs::metadata(shard_path(&cache)).unwrap().len(), clean_len);
+    drop(reopened);
+
+    // The repaired cache still serves the whole grid.
+    let warm = Orchestrator::new()
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(warm.cache_hits, spec.len());
+    assert_eq!(warm.executed, 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_record_cut_costs_exactly_the_torn_record() {
+    let dir = scratch("torn");
+    let spec = grid();
+    let cache = cold_binary_sweep(&dir, &spec);
+
+    // Tear the last (indexed) record in half. The shard is now shorter
+    // than the index believes — open must notice and rebuild.
+    let len = fs::metadata(shard_path(&cache)).unwrap().len();
+    fs::OpenOptions::new()
+        .write(true)
+        .open(shard_path(&cache))
+        .unwrap()
+        .set_len(len - (RECORD_LEN as u64) / 2)
+        .unwrap();
+
+    let reopened = BinaryCache::open(&cache, 0).unwrap();
+    assert!(reopened.recovery().rebuilt_index);
+    assert_eq!(reopened.recovery().truncated_bytes, (RECORD_LEN as u64) / 2);
+    assert_eq!(reopened.len(), spec.len() - 1, "only the torn entry lost");
+    drop(reopened);
+
+    // Exactly one cell re-executes; everything else is a hit. The re-run
+    // restores the cache to full coverage.
+    let warm = Orchestrator::new()
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(warm.cache_hits, spec.len() - 1);
+    assert_eq!(warm.executed, 1);
+    let again = Orchestrator::new()
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(again.cache_hits, spec.len());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_index_is_rebuilt_from_shards() {
+    let dir = scratch("noindex");
+    let spec = grid();
+    let cache = cold_binary_sweep(&dir, &spec);
+
+    fs::remove_file(cache.join("index.bin")).unwrap();
+    let reopened = BinaryCache::open(&cache, 0).unwrap();
+    assert!(reopened.recovery().rebuilt_index);
+    assert_eq!(reopened.len(), spec.len());
+    drop(reopened);
+
+    let warm = Orchestrator::new()
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(warm.cache_hits, spec.len());
+    assert_eq!(warm.executed, 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_index_header_is_rebuilt_from_shards() {
+    let dir = scratch("badheader");
+    let spec = grid();
+    let cache = cold_binary_sweep(&dir, &spec);
+
+    let mut index = fs::read(cache.join("index.bin")).unwrap();
+    index[0] ^= 0xFF; // break the magic
+    fs::write(cache.join("index.bin"), &index).unwrap();
+
+    let reopened = BinaryCache::open(&cache, 0).unwrap();
+    assert!(reopened.recovery().rebuilt_index);
+    assert_eq!(reopened.len(), spec.len());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_behind_the_shards_reindexes_just_the_tail() {
+    let dir = scratch("behind");
+    let full = grid();
+    let prefix = SweepSpec::product(&[tiny(0.3), tiny(0.7)], &[1, 2]);
+    let cache = scratch("behind-cache").join("cache.bin");
+
+    // Sweep the prefix grid, stash its index, then sweep the full grid
+    // into the same cache and put the stale index back: exactly the state
+    // a crash between a record append and its index update leaves behind.
+    Orchestrator::new()
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(&prefix)
+        .unwrap();
+    let stale_index = fs::read(cache.join("index.bin")).unwrap();
+    Orchestrator::new()
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(&full)
+        .unwrap();
+    fs::write(cache.join("index.bin"), &stale_index).unwrap();
+
+    let reopened = BinaryCache::open(&cache, 0).unwrap();
+    assert!(
+        reopened.recovery().reindexed >= full.len() - prefix.len(),
+        "the unindexed tail records were recovered"
+    );
+    assert!(!reopened.recovery().rebuilt_index, "tail scan, not rebuild");
+    assert_eq!(reopened.len(), full.len());
+    drop(reopened);
+
+    let warm = Orchestrator::new()
+        .cache(&cache)
+        .cache_format(CacheFormat::Binary)
+        .run(&full)
+        .unwrap();
+    assert_eq!(warm.cache_hits, full.len());
+    assert_eq!(warm.executed, 0);
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(cache.parent().unwrap()).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole invariant: scheduling and interruption are invisible
+    /// in the bytes. A serial sweep, a 4-worker sweep, and a sweep killed
+    /// at an arbitrary checkpoint boundary (losing the *entire* cache
+    /// directory with it) and then resumed all leave byte-identical
+    /// checkpoints and byte-identical cache directories.
+    #[test]
+    fn scheduling_and_resume_never_change_the_bytes(
+        seeds in 2u64..4,
+        p_hi in 0.55f64..0.9,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = scratch("det");
+        let configs = [tiny(0.25), tiny(p_hi)];
+        let seed_list: Vec<u64> = (1..=seeds).collect();
+        let spec = SweepSpec::product(&configs, &seed_list);
+
+        let run = |label: &str, workers: usize| {
+            let ckpt = dir.join(format!("{label}.ckpt.jsonl"));
+            let cache = dir.join(format!("{label}.cache.bin"));
+            Orchestrator::new()
+                .workers(workers)
+                .checkpoint(&ckpt)
+                .cache(&cache)
+                .cache_format(CacheFormat::Binary)
+                .run(&spec)
+                .unwrap();
+            (fs::read(&ckpt).unwrap(), cache, ckpt)
+        };
+
+        let (serial_ckpt, serial_cache, _) = run("serial", 1);
+        let (parallel_ckpt, parallel_cache, _) = run("parallel", 4);
+        prop_assert_eq!(&serial_ckpt, &parallel_ckpt, "checkpoint depends on worker count");
+        prop_assert_eq!(
+            dir_bytes(&serial_cache),
+            dir_bytes(&parallel_cache),
+            "cache bytes depend on worker count"
+        );
+
+        // Kill-and-resume at a proptest-chosen line boundary, with the
+        // cache directory lost entirely — the harshest crash that still
+        // has a checkpoint. Resume must regenerate both files exactly.
+        let lines: Vec<&str> = std::str::from_utf8(&serial_ckpt).unwrap().lines().collect();
+        let keep = (cut_frac * lines.len() as f64) as usize; // 0..=lines
+        let kept: String = lines[..keep.min(lines.len())]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let ckpt = dir.join("resume.ckpt.jsonl");
+        let cache = dir.join("resume.cache.bin");
+        fs::write(&ckpt, kept).unwrap();
+        let resumed = Orchestrator::new()
+            .workers(3)
+            .checkpoint(&ckpt)
+            .cache(&cache)
+            .cache_format(CacheFormat::Binary)
+            .run(&spec)
+            .unwrap();
+        prop_assert_eq!(
+            resumed.resumed + resumed.executed,
+            spec.len(),
+            "every cell resumed or executed (cache was lost)"
+        );
+        prop_assert_eq!(&fs::read(&ckpt).unwrap(), &serial_ckpt, "resume checkpoint diverged");
+        prop_assert_eq!(
+            dir_bytes(&serial_cache),
+            dir_bytes(&cache),
+            "resume cache bytes diverged"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,6 +7,7 @@
 //!     [--p 0.1,0.3,0.5] [--seeds 5] [--workers 0] \
 //!     [--nodes 1000 --beacons 100 --malicious 10] \
 //!     [--cache results/sweep_cache.jsonl] \
+//!     [--cache-format auto|jsonl|binary] \
 //!     [--checkpoint results/sweep_checkpoint.jsonl] \
 //!     [--events results/sweep_events.jsonl] \
 //!     [--flightrec results] [--watchdog] [--stall-timeout 30]
@@ -15,6 +16,18 @@
 //! Interrupt it mid-run and re-run the same command: the checkpoint
 //! replays the finished prefix and only the remainder is simulated. Run it
 //! twice to completion and the second invocation reports 100% cache hits.
+//!
+//! `--cache-format auto` (the default) keeps `.jsonl` paths on the legacy
+//! line-oriented cache and opens everything else as a sharded binary cache
+//! directory. Existing JSONL caches migrate with the `compact` subcommand:
+//!
+//! ```text
+//! cargo run --release --example sweep -- compact \
+//!     --from results/sweep_cache.jsonl --to results/sweep_cache.bin
+//! # ...and back, for debugging with text tools:
+//! cargo run --release --example sweep -- compact --export-jsonl \
+//!     --from results/sweep_cache.bin --to results/sweep_cache.jsonl
+//! ```
 //!
 //! With `--watchdog` the event stream is monitored inline by the
 //! `secloc_obs::health` detectors (stalled stream, revocation-counter
@@ -29,7 +42,8 @@ use secloc::obs::health::{
     HealthMonitor, StalledStreamDetector,
 };
 use secloc::obs::{EventSink, FlightRecorder, JsonlSink, MetricsRegistry, Obs};
-use secloc::sim::{average_outcomes, Orchestrator, SimConfig, SweepSpec};
+use secloc::sim::orchestrator::ResultCache;
+use secloc::sim::{average_outcomes, BinaryCache, CacheFormat, Orchestrator, SimConfig, SweepSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +56,7 @@ struct Args {
     beacons: u32,
     malicious: u32,
     cache: Option<PathBuf>,
+    cache_format: CacheFormat,
     checkpoint: Option<PathBuf>,
     events: Option<PathBuf>,
     flightrec: Option<PathBuf>,
@@ -58,6 +73,7 @@ fn parse_args() -> Args {
         beacons: 30,
         malicious: 3,
         cache: Some(PathBuf::from("results/sweep_cache.jsonl")),
+        cache_format: CacheFormat::Auto,
         checkpoint: Some(PathBuf::from("results/sweep_checkpoint.jsonl")),
         events: None,
         flightrec: None,
@@ -95,6 +111,11 @@ fn parse_args() -> Args {
                     .expect("--malicious takes an integer")
             }
             "--cache" => args.cache = Some(PathBuf::from(value("--cache"))),
+            "--cache-format" => {
+                let v = value("--cache-format");
+                args.cache_format = CacheFormat::parse(&v)
+                    .unwrap_or_else(|| panic!("--cache-format takes auto|jsonl|binary, got {v}"));
+            }
             "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
             "--no-cache" => args.cache = None,
             "--no-checkpoint" => args.checkpoint = None,
@@ -112,7 +133,96 @@ fn parse_args() -> Args {
     args
 }
 
+/// `sweep compact`: migrate a JSONL cache into the sharded binary format,
+/// or (with `--export-jsonl`) dump a binary cache back to JSONL so it can
+/// be inspected with text tools. Entries are copied in ascending key order
+/// so two compactions of the same cache produce identical bytes.
+fn run_compact(rest: Vec<String>) {
+    let mut from: Option<PathBuf> = None;
+    let mut to: Option<PathBuf> = None;
+    let mut export_jsonl = false;
+    let mut it = rest.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--from" => from = Some(PathBuf::from(value("--from"))),
+            "--to" => to = Some(PathBuf::from(value("--to"))),
+            "--export-jsonl" => export_jsonl = true,
+            other => panic!("unknown compact flag {other} (use --from/--to/--export-jsonl)"),
+        }
+    }
+    let from = from.expect("compact requires --from <cache>");
+    let to = to.expect("compact requires --to <cache>");
+    let mut entries = if export_jsonl {
+        BinaryCache::open(&from, 0)
+            .expect("open binary cache")
+            .entries()
+            .expect("scan binary cache")
+    } else {
+        ResultCache::open(&from)
+            .expect("open jsonl cache")
+            .entries()
+            .map(|(k, o)| (k, o.clone()))
+            .collect::<Vec<_>>()
+    };
+    entries.sort_by_key(|(k, _)| k.0);
+    let total = entries.len();
+    let (mut inserted, mut duplicates) = (0usize, 0usize);
+    if export_jsonl {
+        let mut out = ResultCache::open(&to).expect("open jsonl target");
+        for (key, outcome) in entries {
+            match out
+                .insert_checked(key, outcome)
+                .expect("write jsonl target")
+            {
+                secloc::sim::orchestrator::CacheInsert::Inserted => inserted += 1,
+                secloc::sim::orchestrator::CacheInsert::Duplicate => duplicates += 1,
+                secloc::sim::orchestrator::CacheInsert::Conflict => {
+                    eprintln!("compact: key {key:?} conflicts with the target cache");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        let mut out = BinaryCache::open(&to, total).expect("open binary target");
+        for (key, outcome) in entries {
+            match out
+                .insert_checked(key, outcome)
+                .expect("write binary target")
+            {
+                secloc::sim::orchestrator::CacheInsert::Inserted => inserted += 1,
+                secloc::sim::orchestrator::CacheInsert::Duplicate => duplicates += 1,
+                secloc::sim::orchestrator::CacheInsert::Conflict => {
+                    eprintln!("compact: key {key:?} conflicts with the target cache");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let shards = secloc::sim::cache::shard_count_for(total);
+        println!(
+            "compact: {total} entries -> {} ({shards} shards)",
+            to.display()
+        );
+    }
+    println!(
+        "compact: {inserted} written, {duplicates} already present, {} -> {}",
+        from.display(),
+        to.display()
+    );
+}
+
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("compact")
+        || raw.first().map(String::as_str) == Some("--compact")
+    {
+        raw.remove(0);
+        run_compact(raw);
+        return;
+    }
     let args = parse_args();
     let configs: Vec<SimConfig> = args
         .p_values
@@ -170,7 +280,10 @@ fn main() {
         .flightrec
         .as_ref()
         .map(|_| Arc::new(FlightRecorder::new(4096)));
-    let mut orch = Orchestrator::new().workers(args.workers).observed(&obs);
+    let mut orch = Orchestrator::new()
+        .workers(args.workers)
+        .cache_format(args.cache_format)
+        .observed(&obs);
     if let Some(cache) = &args.cache {
         orch = orch.cache(cache);
     }
@@ -186,6 +299,7 @@ fn main() {
     let done_counter = registry.counter("sweep.cells_done");
     let resumed_counter = registry.counter("sweep.cells_resumed");
     let cached_counter = registry.counter("sweep.cells_cached");
+    let shards_gauge = registry.gauge("sweep.cache_shards");
     let total = spec.len() as u64;
     let started = Instant::now();
     let tick_monitor = monitor.clone();
@@ -212,8 +326,14 @@ fn main() {
                     } else {
                         f64::INFINITY
                     };
+                    let shards = shards_gauge.get();
+                    let shard_note = if shards > 0 {
+                        format!(" | {shards} shards")
+                    } else {
+                        String::new()
+                    };
                     eprint!(
-                        "\r  {done}/{total} cells | {rate:.1} cells/s | reuse {reuse_pct:.0}% | ETA {eta:.0}s   "
+                        "\r  {done}/{total} cells | {rate:.1} cells/s | reuse {reuse_pct:.0}%{shard_note} | ETA {eta:.0}s   "
                     );
                     last = done;
                 }
@@ -233,9 +353,18 @@ fn main() {
     });
 
     println!(
-        "resumed {} | cached {} | executed {} | workers {}",
-        report.resumed, report.cache_hits, report.executed, report.workers_spawned
+        "resumed {} | cached {} | executed {} | workers {} (used {}) | steals {} | {:.1} cells/s",
+        report.resumed,
+        report.cache_hits,
+        report.executed,
+        report.workers_spawned,
+        report.workers_used,
+        report.steal_batches,
+        report.cells_per_sec
     );
+    if report.cache_shards > 0 {
+        println!("cache shards: {}", report.cache_shards);
+    }
     if report.executed == 0 {
         println!("all cells served without simulation (100% cache/checkpoint reuse)");
     }
