@@ -1,0 +1,214 @@
+//! The JSONL wire format of the alerter's input stream.
+//!
+//! One JSON object per line. The alerter understands two dialects with
+//! the same field conventions as the sweep engine's event stream
+//! (`cell` / `seed` / 16-hex trace coordinates):
+//!
+//! - **Recorded streams** — the `obs_events.jsonl` a sweep writes with
+//!   `--events`: `cell.start` (τ/τ′ policy), `bs.alert` (one delivered
+//!   accusation, with the batch path's recorded verdict), `revocation`,
+//!   and `cell.complete` (with the cache classification). Replay feeds
+//!   these back and cross-checks every recorded decision.
+//! - **Live streams** — minimal producer events: `deploy.start`,
+//!   `alert`, `deploy.end`, carrying a `deployment` (or `cell`) key.
+//!
+//! Anything else that parses as a JSON object with a `kind` is ignored
+//! (the recorded stream interleaves phases, metrics, and health events
+//! the alerter has no use for); anything that doesn't parse is a
+//! malformed line, which the service counts and survives.
+
+use secloc_obs::json::JsonValue;
+
+/// One decoded input line, normalized across the two dialects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEvent {
+    /// A deployment came online (`cell.start` / `deploy.start`).
+    DeployStart {
+        /// The demultiplexing key (`cell` or `deployment` field).
+        deployment: String,
+        /// Per-reporter cap τ, when announced.
+        tau: Option<u32>,
+        /// Revocation threshold τ′, when announced.
+        tau_prime: Option<u32>,
+        /// The deployment's seed, echoed onto emitted events.
+        seed: Option<u64>,
+    },
+    /// One delivered accusation (`bs.alert` / `alert`).
+    Accusation {
+        /// The demultiplexing key; absent on single-deployment live
+        /// streams (the service then uses its default key).
+        deployment: Option<String>,
+        /// The accusing node.
+        reporter: u32,
+        /// The accused node.
+        target: u32,
+        /// `detection` / `collusion`, when the producer tagged it.
+        source: Option<String>,
+        /// The batch path's recorded verdict (`bs.alert` streams only);
+        /// replay cross-checks it against the machine's decision.
+        recorded_outcome: Option<String>,
+    },
+    /// A revocation the batch path recorded (`revocation`); replay asserts
+    /// the machine agrees.
+    RecordedRevocation {
+        /// The demultiplexing key, when present.
+        deployment: Option<String>,
+        /// The node the batch path revoked.
+        target: u32,
+    },
+    /// A deployment went away (`cell.complete` / `deploy.end`).
+    DeployEnd {
+        /// The demultiplexing key, when present.
+        deployment: Option<String>,
+        /// The sweep's cache classification (`miss` / `memo` / `hit` /
+        /// `resumed`); only `miss` cells carry a full decision history,
+        /// so only those are parity-checked against the checkpoint.
+        cache: Option<String>,
+    },
+    /// A well-formed event of no interest to the alerter.
+    Ignored,
+}
+
+fn str_of(v: Option<&JsonValue>) -> Option<String> {
+    v.and_then(|v| v.as_str()).map(str::to_string)
+}
+
+fn u32_of(v: Option<&JsonValue>, field: &str) -> Result<u32, String> {
+    let raw = v
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("missing or non-u64 \"{field}\""))?;
+    u32::try_from(raw).map_err(|_| format!("\"{field}\" {raw} exceeds u32"))
+}
+
+/// The demultiplexing key: `cell` (sweep convention) wins over
+/// `deployment` (live convention).
+fn deployment_of(obj: &JsonValue) -> Option<String> {
+    str_of(obj.get("cell")).or_else(|| str_of(obj.get("deployment")))
+}
+
+/// Parses one input line. `Err` is a malformed line (invalid JSON, no
+/// `kind`, or a recognized kind missing a contract field) with the reason;
+/// the service survives these, counts them, and surfaces them through the
+/// malformed-input health detector.
+pub fn parse_line(line: &str) -> Result<WireEvent, String> {
+    let obj = JsonValue::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if obj.as_object().is_none() {
+        return Err("line is not a JSON object".to_string());
+    }
+    let kind = obj
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .ok_or_else(|| "missing or non-string \"kind\"".to_string())?;
+    match kind {
+        "cell.start" | "deploy.start" => {
+            let deployment = deployment_of(&obj)
+                .ok_or_else(|| format!("{kind} missing \"cell\"/\"deployment\""))?;
+            let maybe_u32 = |field: &str| -> Result<Option<u32>, String> {
+                match obj.get(field) {
+                    None => Ok(None),
+                    some => u32_of(some, field).map(Some),
+                }
+            };
+            Ok(WireEvent::DeployStart {
+                deployment,
+                tau: maybe_u32("tau")?,
+                tau_prime: maybe_u32("tau_prime")?,
+                seed: obj.get("seed").and_then(|v| v.as_u64()),
+            })
+        }
+        "bs.alert" | "alert" => Ok(WireEvent::Accusation {
+            deployment: deployment_of(&obj),
+            reporter: u32_of(obj.get("reporter"), "reporter")?,
+            target: u32_of(obj.get("target"), "target")?,
+            source: str_of(obj.get("source")),
+            recorded_outcome: str_of(obj.get("outcome")),
+        }),
+        "revocation" => Ok(WireEvent::RecordedRevocation {
+            deployment: deployment_of(&obj),
+            target: u32_of(obj.get("target"), "target")?,
+        }),
+        "cell.complete" | "deploy.end" => Ok(WireEvent::DeployEnd {
+            deployment: deployment_of(&obj),
+            cache: str_of(obj.get("cache")),
+        }),
+        _ => Ok(WireEvent::Ignored),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_recorded_cell_start() {
+        let ev = parse_line(
+            r#"{"kind":"cell.start","seq":3,"trace":"00000000c0ffee00","cell":"00000000c0ffee00","seed":7,"tau":2,"tau_prime":2}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            ev,
+            WireEvent::DeployStart {
+                deployment: "00000000c0ffee00".to_string(),
+                tau: Some(2),
+                tau_prime: Some(2),
+                seed: Some(7),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_recorded_bs_alert_with_verdict() {
+        let ev = parse_line(
+            r#"{"kind":"bs.alert","seq":9,"cell":"00000000c0ffee00","reporter":4,"target":17,"source":"detection","outcome":"accepted"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            ev,
+            WireEvent::Accusation {
+                deployment: Some("00000000c0ffee00".to_string()),
+                reporter: 4,
+                target: 17,
+                source: Some("detection".to_string()),
+                recorded_outcome: Some("accepted".to_string()),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_live_minimal_alert() {
+        let ev = parse_line(r#"{"kind":"alert","deployment":"field-7","reporter":1,"target":2}"#)
+            .unwrap();
+        assert_eq!(
+            ev,
+            WireEvent::Accusation {
+                deployment: Some("field-7".to_string()),
+                reporter: 1,
+                target: 2,
+                source: None,
+                recorded_outcome: None,
+            }
+        );
+    }
+
+    #[test]
+    fn uninteresting_kinds_are_ignored_not_errors() {
+        for line in [
+            r#"{"kind":"phase","seq":1,"name":"impact"}"#,
+            r#"{"kind":"sweep.end","seq":99,"cells":4,"resumed":0,"cached":0,"executed":4}"#,
+            r#"{"kind":"health.stalled_stream","seq":5,"message":"idle"}"#,
+        ] {
+            assert_eq!(parse_line(line).unwrap(), WireEvent::Ignored);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_with_reason() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("[1,2,3]").is_err());
+        assert!(parse_line(r#"{"seq":1}"#).is_err());
+        assert!(parse_line(r#"{"kind":"alert","reporter":1}"#).is_err());
+        assert!(parse_line(r#"{"kind":"alert","reporter":"x","target":2}"#).is_err());
+        assert!(parse_line(r#"{"kind":"alert","reporter":5000000000,"target":2}"#).is_err());
+        assert!(parse_line(r#"{"kind":"cell.start","tau":2}"#).is_err());
+    }
+}

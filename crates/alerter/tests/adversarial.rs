@@ -1,0 +1,227 @@
+//! Adversarial-input tests: the service must keep exact protocol
+//! semantics under malformed lines, duplicate and out-of-order
+//! accusations, mid-stream deployment churn, and heavy interleaving —
+//! and N concurrent deployments must never cross-contaminate.
+
+use proptest::prelude::*;
+use secloc_alerter::{Alerter, AlerterConfig};
+use secloc_core::{RevocationConfig, RevocationMachine};
+use secloc_crypto::NodeId;
+use secloc_obs::{MemorySink, Obs, Value};
+use std::sync::Arc;
+
+fn alert(dep: &str, reporter: u32, target: u32) -> String {
+    format!(r#"{{"kind":"alert","deployment":"{dep}","reporter":{reporter},"target":{target}}}"#)
+}
+
+fn fresh() -> Alerter {
+    Alerter::new(AlerterConfig::default(), Obs::disabled())
+}
+
+#[test]
+fn garbage_between_valid_lines_changes_nothing() {
+    let garbage: &[&str] = &[
+        "",
+        "   ",
+        "not json at all",
+        "{\"kind\":",
+        "[1,2,3]",
+        "42",
+        r#"{"no_kind":true}"#,
+        r#"{"kind":42}"#,
+        r#"{"kind":"alert"}"#,
+        r#"{"kind":"alert","reporter":"one","target":2}"#,
+        r#"{"kind":"alert","reporter":1,"target":99999999999}"#,
+        r#"{"kind":"cell.start"}"#,
+        r#"{"kind":"cell.start","cell":"x","tau":-1}"#,
+        "\u{0}\u{1}\u{2}",
+    ];
+    let mut clean = fresh();
+    let mut dirty = fresh();
+    for r in 1..=3u32 {
+        clean.ingest_line(&alert("d", r, 9));
+        for g in garbage {
+            dirty.ingest_line(g);
+        }
+        dirty.ingest_line(&alert("d", r, 9));
+    }
+    assert!(clean.is_revoked("d", 9));
+    assert!(dirty.is_revoked("d", 9));
+    assert_eq!(
+        clean.machine("d").unwrap().state(),
+        dirty.machine("d").unwrap().state(),
+        "malformed lines must not perturb protocol state"
+    );
+    assert!(dirty.stats().malformed > 0, "they are counted, though");
+}
+
+#[test]
+fn duplicate_accusations_consume_nothing_streamwise() {
+    let mut a = fresh();
+    // Reporter 1 spams the same accusation: one acceptance, τ' never
+    // cleared, and reporter 1's budget (τ+1 = 3) is charged once.
+    for _ in 0..50 {
+        a.ingest_line(&alert("d", 1, 9));
+    }
+    assert!(!a.is_revoked("d", 9));
+    let m = a.machine("d").unwrap();
+    assert_eq!(m.suspiciousness(NodeId(9)), 1);
+    assert_eq!(m.reports_spent(NodeId(1)), 1);
+    // Two more distinct accusers still revoke: duplicates were free.
+    a.ingest_line(&alert("d", 2, 9));
+    a.ingest_line(&alert("d", 3, 9));
+    assert!(a.is_revoked("d", 9));
+}
+
+#[test]
+fn out_of_order_lifecycle_is_survived() {
+    let mut a = fresh();
+    // End before start, accusations before any start, duplicate starts,
+    // end of a never-seen deployment.
+    a.ingest_line(r#"{"kind":"deploy.end","deployment":"ghost"}"#);
+    a.ingest_line(&alert("late", 1, 9));
+    a.ingest_line(r#"{"kind":"deploy.start","deployment":"late","tau":2,"tau_prime":2}"#);
+    a.ingest_line(&alert("late", 2, 9));
+    a.ingest_line(r#"{"kind":"deploy.start","deployment":"late","tau":0,"tau_prime":0}"#);
+    a.ingest_line(&alert("late", 3, 9));
+    let s = a.stats();
+    assert_eq!(s.malformed, 0, "out-of-order input is not malformed");
+    assert_eq!(
+        s.implicit_deploys, 1,
+        "the early accusation opened the slot"
+    );
+    assert!(
+        a.is_revoked("late", 9),
+        "three distinct accusers clear tau'=2"
+    );
+    // The mid-stream policy downgrade was ignored: decisions had begun.
+    assert_eq!(a.machine("late").unwrap().config().tau_prime, 2);
+}
+
+#[test]
+fn churned_key_reincarnates_with_clean_state() {
+    let mut a = fresh();
+    for generation in 0..10u32 {
+        a.ingest_line(&alert("site", 1, 9));
+        a.ingest_line(&alert("site", 2, 9));
+        assert!(
+            !a.is_revoked("site", 9),
+            "generation {generation}: two accusers stay below the tau'=2 quorum"
+        );
+        a.ingest_line(r#"{"kind":"deploy.end","deployment":"site"}"#);
+    }
+    let s = a.stats();
+    assert_eq!(s.retired, 10);
+    assert_eq!(s.revocations, 0, "no generation ever reached quorum");
+    assert_eq!(s.peak_active, 1, "churned generations reuse one slot");
+}
+
+#[test]
+fn emitted_decisions_carry_the_deployment_scope() {
+    let sink = Arc::new(MemorySink::new());
+    let mut a = Alerter::new(AlerterConfig::default(), Obs::with_sink(sink.clone()));
+    a.ingest_line(&alert("field-7", 1, 9));
+    a.ingest_line(&alert("other", 1, 9));
+    a.finish();
+    let events = sink.events();
+    let decisions: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == "alerter.decision")
+        .collect();
+    assert_eq!(decisions.len(), 2);
+    assert_eq!(
+        decisions[0].field("cell"),
+        Some(&Value::Str("field-7".into()))
+    );
+    assert_eq!(
+        decisions[1].field("cell"),
+        Some(&Value::Str("other".into()))
+    );
+    assert_ne!(
+        decisions[0].ctx.unwrap().trace_id,
+        decisions[1].ctx.unwrap().trace_id,
+        "each deployment gets its own trace"
+    );
+    assert!(events.iter().any(|e| e.kind == "alerter.summary"));
+}
+
+/// The reference for the cross-contamination property: one machine per
+/// deployment, fed only its own accusations, in order.
+fn reference_machines(deployments: usize, stream: &[(usize, u32, u32)]) -> Vec<RevocationMachine> {
+    let mut machines: Vec<RevocationMachine> = (0..deployments)
+        .map(|_| RevocationMachine::new(RevocationConfig::paper_default()))
+        .collect();
+    for &(dep, reporter, target) in stream {
+        machines[dep].decide(NodeId(reporter), NodeId(target));
+    }
+    machines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaved_deployments_never_cross_contaminate(
+        deployments in 2usize..8,
+        stream in proptest::collection::vec((0usize..8, 0u32..6, 0u32..6), 1..120),
+    ) {
+        let stream: Vec<(usize, u32, u32)> = stream
+            .into_iter()
+            .map(|(d, r, t)| (d % deployments, r, t))
+            .collect();
+        let mut a = fresh();
+        for &(dep, reporter, target) in &stream {
+            a.ingest_line(&alert(&format!("dep-{dep}"), reporter, target));
+        }
+        // However the deployments interleave, every machine's final state
+        // is exactly what its own sub-stream produces in isolation — the
+        // batch semantics, unpolluted by the other deployments.
+        let reference = reference_machines(deployments, &stream);
+        for (dep, want) in reference.iter().enumerate() {
+            let touched = stream.iter().any(|&(d, _, _)| d == dep);
+            let got = a.machine(&format!("dep-{dep}"));
+            match (touched, got) {
+                (false, None) => {}
+                (true, Some(got)) => prop_assert_eq!(
+                    got.state(),
+                    want.state(),
+                    "deployment {} diverged from its isolated replay",
+                    dep
+                ),
+                (touched, got) => prop_assert!(
+                    false,
+                    "deployment {} touched={} but machine present={}",
+                    dep,
+                    touched,
+                    got.is_some()
+                ),
+            }
+        }
+        prop_assert_eq!(a.stats().decisions, stream.len() as u64);
+        prop_assert_eq!(a.stats().malformed, 0u64);
+    }
+
+    #[test]
+    fn wire_state_round_trips_under_interleaving(
+        stream in proptest::collection::vec((0u32..5, 0u32..5), 1..60),
+    ) {
+        // Serializing a live machine mid-stream and resuming from the wire
+        // form continues identically — the state machine is its state.
+        let mut a = fresh();
+        let (head, tail) = stream.split_at(stream.len() / 2);
+        for &(r, t) in head {
+            a.ingest_line(&alert("d", r, t));
+        }
+        let wire = a.machine("d").map(|m| m.to_wire());
+        let mut resumed = wire
+            .map(|w| RevocationMachine::from_wire(&w).expect("wire round-trip"))
+            .unwrap_or_else(|| RevocationMachine::new(RevocationConfig::paper_default()));
+        for &(r, t) in tail {
+            a.ingest_line(&alert("d", r, t));
+            resumed.decide(NodeId(r), NodeId(t));
+        }
+        if let Some(live) = a.machine("d") {
+            prop_assert_eq!(live.state(), resumed.state());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The tentpole guarantee, end to end: a sweep's recorded event stream,
+//! replayed through the streaming service, reaches byte-identical
+//! revocation outcomes — per decision and per cell — because both paths
+//! run the one `RevocationMachine`.
+
+use secloc_alerter::{diff_checkpoint, replay_stream, AlerterConfig};
+use secloc_obs::{JsonlSink, Obs};
+use secloc_sim::{Orchestrator, SimConfig, SweepSpec};
+use std::io::BufReader;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "secloc_alerter_parity_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn small_config(attacker_p: f64) -> SimConfig {
+    SimConfig {
+        nodes: 400,
+        beacons: 40,
+        malicious: 5,
+        attacker_p,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn cold_sweep_stream_replays_to_identical_revocations() {
+    let dir = temp_dir("cold");
+    let events_path = dir.join("obs_events.jsonl");
+    let checkpoint_path = dir.join("checkpoint.jsonl");
+
+    // A cold multi-cell sweep (two policies × two seeds) recording both
+    // its event stream and its checkpoint. Aggressive attackers so
+    // revocations actually happen.
+    {
+        let sink = Arc::new(JsonlSink::create(&events_path).expect("event sink"));
+        let obs = Obs::with_sink(sink);
+        let spec = SweepSpec::product(&[small_config(0.8), small_config(0.4)], &[11, 12]);
+        let report = Orchestrator::new()
+            .observed(&obs)
+            .checkpoint(&checkpoint_path)
+            .run(&spec)
+            .expect("sweep");
+        assert_eq!(report.executed, 4, "cold sweep executes every cell");
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .any(|o| o.revoked_malicious + o.revoked_benign > 0),
+            "the parity check needs at least one revocation to bite"
+        );
+    }
+
+    let file = std::fs::File::open(&events_path).expect("open events");
+    let (alerter, _elapsed) = replay_stream(
+        BufReader::new(file),
+        AlerterConfig::default(),
+        Obs::disabled(),
+    )
+    .expect("replay");
+
+    let stats = alerter.stats();
+    assert_eq!(stats.malformed, 0, "the recorded stream is well-formed");
+    assert_eq!(stats.deploys, 4, "every cell.start became a deployment");
+    assert_eq!(stats.implicit_deploys, 0, "cell.start precedes decisions");
+    assert_eq!(stats.retired, 4, "every cell.complete retired its machine");
+    assert!(stats.decisions > 0, "the stream carried decisions");
+    assert!(stats.revocations > 0, "the stream carried revocations");
+
+    // Per-decision parity: every recorded bs.alert verdict and every
+    // recorded revocation matched the machine, byte for byte.
+    assert_eq!(
+        alerter.mismatches(),
+        &[] as &[String],
+        "streaming decisions diverged from the batch recording"
+    );
+
+    // Per-cell parity: the machines' revocation counts equal the
+    // checkpoint's revoked_malicious + revoked_benign for every executed
+    // cell.
+    let checkpoint = std::fs::read_to_string(&checkpoint_path).expect("read checkpoint");
+    let diff = diff_checkpoint(&alerter, &checkpoint);
+    assert_eq!(diff.cells_total, 4);
+    assert_eq!(diff.cells_compared, 4, "cold sweep: all cells executed");
+    assert_eq!(diff.cells_skipped, 0);
+    assert_eq!(
+        diff.mismatches,
+        Vec::<String>::new(),
+        "checkpoint revocation counts diverged"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_stream_fails_parity() {
+    let dir = temp_dir("tampered");
+    let events_path = dir.join("obs_events.jsonl");
+    {
+        let sink = Arc::new(JsonlSink::create(&events_path).expect("event sink"));
+        let obs = Obs::with_sink(sink);
+        Orchestrator::new()
+            .observed(&obs)
+            .run(&SweepSpec::single(&small_config(0.8), &[11]))
+            .expect("sweep");
+    }
+    let text = std::fs::read_to_string(&events_path).expect("read events");
+    assert!(
+        text.contains("\"accepted\""),
+        "need decisions to tamper with"
+    );
+    // Flip the first accepted verdict: the machine must notice that the
+    // "batch path" (as recorded) no longer matches its own arithmetic.
+    let tampered = text.replacen("\"accepted\"", "\"ignored_duplicate\"", 1);
+    let (alerter, _) = replay_stream(
+        BufReader::new(tampered.as_bytes()),
+        AlerterConfig::default(),
+        Obs::disabled(),
+    )
+    .expect("replay");
+    assert!(
+        alerter.stats().parity_mismatches > 0,
+        "a tampered verdict must break parity"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -390,6 +390,66 @@ fn bench_sweep_scale(quick: bool) -> SweepScale {
     }
 }
 
+/// Streaming apply cost for the ISSUE 8 acceptance bar: the alerter must
+/// sustain ≥ 1000 concurrent deployment machines; we measure ns per
+/// ingested event (parse + demux + `RevocationMachine::apply` + emit)
+/// with every machine live the whole time.
+struct AlerterScale {
+    deployments: usize,
+    events: u64,
+    total_ns: u64,
+    peak_active: usize,
+}
+
+impl AlerterScale {
+    fn ns_per_event(&self) -> f64 {
+        self.total_ns as f64 / self.events as f64
+    }
+}
+
+fn bench_alerter(quick: bool) -> AlerterScale {
+    use secloc_alerter::{Alerter, AlerterConfig};
+    // ≥ 1000 concurrent machines even in --quick (the acceptance bar);
+    // the full run widens the table and lengthens the stream.
+    let (deployments, rounds) = if quick {
+        (1_000usize, 8u32)
+    } else {
+        (5_000, 40)
+    };
+    let mut lines: Vec<String> = Vec::with_capacity(deployments * rounds as usize);
+    for round in 0..rounds {
+        for dep in 0..deployments {
+            // Spread reporters/targets so the stream mixes acceptances,
+            // duplicates, budget exhaustion, and revocations.
+            let reporter = (round * 7 + dep as u32) % 23;
+            let target = (dep as u32 + round / 3) % 17;
+            lines.push(format!(
+                r#"{{"kind":"alert","deployment":"dep-{dep}","reporter":{reporter},"target":{target}}}"#
+            ));
+        }
+    }
+    let mut alerter = Alerter::new(AlerterConfig::default(), Obs::disabled());
+    let total_ns = time(|| {
+        for line in &lines {
+            alerter.ingest_line(line);
+        }
+    });
+    let stats = alerter.stats();
+    assert_eq!(stats.malformed, 0);
+    assert_eq!(stats.decisions, lines.len() as u64);
+    assert!(
+        stats.peak_active >= 1_000,
+        "acceptance bar: >= 1000 concurrent deployment machines, got {}",
+        stats.peak_active
+    );
+    AlerterScale {
+        deployments,
+        events: lines.len() as u64,
+        total_ns,
+        peak_active: stats.peak_active,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (grid_rounds, transmit_rounds, full_runs) = if quick { (2, 2, 3) } else { (10, 10, 20) };
@@ -422,6 +482,7 @@ fn main() {
     ];
     let sweep = bench_sweep_sharing(&cfg, quick);
     let scale = bench_sweep_scale(quick);
+    let alerter = bench_alerter(quick);
 
     let mut table = Table::new([
         "section",
@@ -567,6 +628,19 @@ fn main() {
     );
     json.push_str("  },\n");
 
+    json.push_str("  \"alerter\": {");
+    let _ = write!(
+        json,
+        "\"deployments\": {}, \"peak_active\": {}, \"events\": {}, \"total_ns\": {}, \
+         \"ns_per_event\": {:.0}",
+        alerter.deployments,
+        alerter.peak_active,
+        alerter.events,
+        alerter.total_ns,
+        alerter.ns_per_event()
+    );
+    json.push_str("},\n");
+
     let full = &sections[2];
     let _ = writeln!(json, "  \"full_run_ratio_target\": 2.0,");
     let _ = writeln!(json, "  \"full_run_ratio\": {:.4}", full.ratio());
@@ -617,6 +691,12 @@ fn main() {
         scale.dead_cells,
         scale.warm_ratio,
         scale.warm_ratio_target
+    );
+    println!(
+        "  alerter: {} events across {} live deployments — {:.0} ns/event",
+        alerter.events,
+        alerter.peak_active,
+        alerter.ns_per_event()
     );
     println!("  wrote {}", path.display());
 }

@@ -252,6 +252,11 @@ fn collect_metrics(
             // warns.
             out.push(("perf.sweep_scale.ns_per_cell".to_string(), v, Limit::None));
         }
+        if let Some(v) = number_at(perf, &["alerter", "ns_per_event"]) {
+            // Streaming apply cost per event across ≥1000 concurrent
+            // deployment machines: machine-dependent, trend-only.
+            out.push(("perf.alerter.ns_per_event".to_string(), v, Limit::None));
+        }
     }
     if let Some(obs) = obs {
         if let Some(v) = number_at(obs, &["overhead_ratio"]) {
@@ -435,6 +440,38 @@ fn validate_events(path: &Path) -> Result<usize, String> {
                 require_u64("cached")?;
                 require_u64("executed")?;
             }
+            // The streaming alerter's vocabulary (same stream, same
+            // cell/seed/trace conventions as the sweep kinds above).
+            "alerter.deploy" => {
+                require_u64("tau")?;
+                require_u64("tau_prime")?;
+            }
+            "alerter.decision" => {
+                require_u64("reporter")?;
+                require_u64("target")?;
+                require_str("outcome")?;
+            }
+            "alerter.revocation" => {
+                require_u64("target")?;
+                require_u64("distinct_accusers")?;
+            }
+            "alerter.retire" => {
+                require_u64("decisions")?;
+                require_u64("revocations")?;
+            }
+            "alerter.malformed" => require_str("error")?,
+            "alerter.mismatch" => {
+                require_str("recorded")?;
+                require_str("computed")?;
+            }
+            "alerter.summary" => {
+                require_u64("decisions")?;
+                require_u64("revocations")?;
+                require_u64("malformed")?;
+            }
+            // Every health detector event carries a human-readable
+            // message alongside its structured fields.
+            k if k.starts_with("health.") => require_str("message")?,
             _ => {}
         }
         count += 1;

@@ -46,6 +46,7 @@
 mod alert;
 mod aoa;
 mod detector;
+pub mod machine;
 mod pipeline;
 pub mod protocol;
 mod revocation;
@@ -57,6 +58,7 @@ mod wormhole_filter;
 pub use alert::{Alert, SignedAlert};
 pub use aoa::{bearing, AoaDetector, CombinedDetector};
 pub use detector::{SignalDetector, SignalVerdict};
+pub use machine::{MachineState, ProtocolAction, ProtocolEvent, RevocationMachine, StateWireError};
 pub use pipeline::{DetectionOutcome, DetectionPipeline, Observation};
 pub use revocation::{AlertOutcome, BaseStation, RevocationConfig};
 pub use rtt::{rtt_from_timestamps, LocalReplayVerdict, RttFilter};

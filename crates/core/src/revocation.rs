@@ -1,5 +1,11 @@
 //! Base-station revocation of suspicious beacon nodes (§3.1).
+//!
+//! [`BaseStation`] is the batch-facing façade over the workspace's single
+//! τ/τ′ implementation, [`RevocationMachine`](crate::RevocationMachine):
+//! it adds the accepted-alert audit log and the [`Alert`]-typed entry
+//! point, and delegates every counting decision to the machine.
 
+use crate::machine::RevocationMachine;
 use crate::Alert;
 use secloc_crypto::NodeId;
 
@@ -59,6 +65,33 @@ impl AlertOutcome {
             AlertOutcome::Accepted | AlertOutcome::AcceptedAndRevoked
         )
     }
+
+    /// The wire label of this decision, as carried by `bs.alert` and
+    /// `alerter.decision` events (and cross-checked by
+    /// `secloc_obs::health`'s counter-anomaly detector — keep the two
+    /// vocabularies in sync).
+    pub fn wire_label(self) -> &'static str {
+        match self {
+            AlertOutcome::Accepted => "accepted",
+            AlertOutcome::AcceptedAndRevoked => "accepted_and_revoked",
+            AlertOutcome::IgnoredReporterBudget => "ignored_reporter_budget",
+            AlertOutcome::IgnoredTargetRevoked => "ignored_target_revoked",
+            AlertOutcome::IgnoredDuplicate => "ignored_duplicate",
+        }
+    }
+
+    /// Parses a [`wire_label`](AlertOutcome::wire_label) back into the
+    /// outcome (used by the replay path to compare recorded decisions).
+    pub fn from_wire_label(label: &str) -> Option<AlertOutcome> {
+        Some(match label {
+            "accepted" => AlertOutcome::Accepted,
+            "accepted_and_revoked" => AlertOutcome::AcceptedAndRevoked,
+            "ignored_reporter_budget" => AlertOutcome::IgnoredReporterBudget,
+            "ignored_target_revoked" => AlertOutcome::IgnoredTargetRevoked,
+            "ignored_duplicate" => AlertOutcome::IgnoredDuplicate,
+            _ => return None,
+        })
+    }
 }
 
 /// The base station's revocation state machine.
@@ -104,18 +137,11 @@ impl AlertOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BaseStation {
-    config: RevocationConfig,
-    // Dense per-node state, indexed by `NodeId.0` and grown on demand.
-    // Node IDs in this system are compact indices (the `IdSpace`
-    // convention), so flat tables replace the hashed maps the sweep
-    // orchestrator was spending its per-cell revocation time in.
-    report_counters: Vec<u32>,
-    alert_counters: Vec<u32>,
-    // Per reporter, the targets whose accusation the station accepted.
-    // Bounded by the τ + 1 report budget, so a linear scan is the fast
-    // duplicate filter.
-    accused: Vec<Vec<NodeId>>,
-    revoked: Vec<bool>,
+    // The single τ/τ′ implementation. Dense per-node state lives inside
+    // the machine, indexed by `NodeId.0` (the `IdSpace` convention), so
+    // flat tables replace the hashed maps the sweep orchestrator was
+    // spending its per-cell revocation time in.
+    machine: RevocationMachine,
     accepted_log: Vec<Alert>,
 }
 
@@ -123,60 +149,33 @@ impl BaseStation {
     /// Creates a base station with the given thresholds.
     pub fn new(config: RevocationConfig) -> Self {
         BaseStation {
-            config,
-            report_counters: Vec::new(),
-            alert_counters: Vec::new(),
-            accused: Vec::new(),
-            revoked: Vec::new(),
+            machine: RevocationMachine::new(config),
             accepted_log: Vec::new(),
         }
     }
 
     /// The thresholds in force.
     pub fn config(&self) -> RevocationConfig {
-        self.config
+        self.machine.config()
     }
 
-    fn ensure_node(&mut self, id: NodeId) {
-        let need = id.0 as usize + 1;
-        if self.report_counters.len() < need {
-            self.report_counters.resize(need, 0);
-            self.alert_counters.resize(need, 0);
-            self.accused.resize(need, Vec::new());
-            self.revoked.resize(need, false);
-        }
+    /// The protocol state machine this station delegates to, for state
+    /// inspection or snapshotting.
+    pub fn machine(&self) -> &RevocationMachine {
+        &self.machine
     }
 
     /// Processes one (already authenticated) alert, exactly per §3.1.
+    ///
+    /// Delegates the verdict to [`RevocationMachine::decide`] — the same
+    /// code path the streaming alerter runs — and keeps the audit log of
+    /// accepted alerts on top.
     pub fn process(&mut self, alert: Alert) -> AlertOutcome {
-        // Order of checks follows the paper: report budget first, then
-        // target-revoked; a revoked *reporter* is still heard (see the
-        // struct docs for the audit of both points). Only then is the
-        // duplicate filter consulted, so an over-budget reporter repeating
-        // itself reads as budget exhaustion, not as a duplicate.
-        self.ensure_node(alert.reporter);
-        self.ensure_node(alert.target);
-        let r = alert.reporter.0 as usize;
-        let t = alert.target.0 as usize;
-        if self.report_counters[r] > self.config.tau {
-            return AlertOutcome::IgnoredReporterBudget;
+        let outcome = self.machine.decide(alert.reporter, alert.target);
+        if outcome.accepted() {
+            self.accepted_log.push(alert);
         }
-        if self.revoked[t] {
-            return AlertOutcome::IgnoredTargetRevoked;
-        }
-        if self.accused[r].contains(&alert.target) {
-            return AlertOutcome::IgnoredDuplicate;
-        }
-        self.accused[r].push(alert.target);
-        self.report_counters[r] += 1;
-        self.alert_counters[t] += 1;
-        self.accepted_log.push(alert);
-        if self.alert_counters[t] > self.config.tau_prime {
-            self.revoked[t] = true;
-            AlertOutcome::AcceptedAndRevoked
-        } else {
-            AlertOutcome::Accepted
-        }
+        outcome
     }
 
     /// Processes a batch, returning the outcomes in order.
@@ -186,42 +185,29 @@ impl BaseStation {
 
     /// Whether `node` has been revoked.
     pub fn is_revoked(&self, node: NodeId) -> bool {
-        self.revoked.get(node.0 as usize).copied().unwrap_or(false)
+        self.machine.is_revoked(node)
     }
 
     /// All revoked nodes, sorted by ID.
     pub fn revoked(&self) -> Vec<NodeId> {
-        self.revoked
-            .iter()
-            .enumerate()
-            .filter(|(_, &r)| r)
-            .map(|(i, _)| NodeId(i as u32))
-            .collect()
+        self.machine.revoked_nodes()
     }
 
     /// Current alert counter of `node`: how many *distinct* reporters have
     /// had an accusation against it accepted.
     pub fn suspiciousness(&self, node: NodeId) -> u32 {
-        self.alert_counters
-            .get(node.0 as usize)
-            .copied()
-            .unwrap_or(0)
+        self.machine.suspiciousness(node)
     }
 
     /// Whether the station has already accepted an accusation by
     /// `reporter` against `target`.
     pub fn has_accused(&self, reporter: NodeId, target: NodeId) -> bool {
-        self.accused
-            .get(reporter.0 as usize)
-            .is_some_and(|targets| targets.contains(&target))
+        self.machine.has_accused(reporter, target)
     }
 
     /// Accepted alerts submitted by `node` so far.
     pub fn reports_spent(&self, node: NodeId) -> u32 {
-        self.report_counters
-            .get(node.0 as usize)
-            .copied()
-            .unwrap_or(0)
+        self.machine.reports_spent(node)
     }
 
     /// The accepted alerts, in arrival order (audit log).
@@ -348,6 +334,62 @@ mod tests {
             }
             out
         }
+    }
+
+    #[test]
+    fn station_and_machine_are_one_implementation() {
+        // The façade must not re-implement anything: the same alert stream
+        // through `BaseStation::process` and through raw
+        // `RevocationMachine::apply` yields identical verdicts and equal
+        // final machine state.
+        use crate::machine::{ProtocolAction, ProtocolEvent, RevocationMachine};
+        let cfg = RevocationConfig::paper_default();
+        let mut station = BaseStation::new(cfg);
+        let mut machine = RevocationMachine::new(cfg);
+        let stream = [
+            (1, 9),
+            (1, 9),
+            (2, 9),
+            (3, 9),
+            (4, 9),
+            (1, 5),
+            (1, 6),
+            (1, 7),
+        ];
+        for (r, t) in stream {
+            let via_station = station.process(alert(r, t));
+            let actions = machine.apply(ProtocolEvent::Accusation {
+                reporter: NodeId(r),
+                target: NodeId(t),
+            });
+            assert_eq!(
+                actions[0],
+                ProtocolAction::Decided {
+                    reporter: NodeId(r),
+                    target: NodeId(t),
+                    outcome: via_station
+                }
+            );
+        }
+        assert_eq!(station.machine(), &machine);
+        assert_eq!(station.revoked(), machine.revoked_nodes());
+    }
+
+    #[test]
+    fn wire_labels_round_trip() {
+        for outcome in [
+            AlertOutcome::Accepted,
+            AlertOutcome::AcceptedAndRevoked,
+            AlertOutcome::IgnoredReporterBudget,
+            AlertOutcome::IgnoredTargetRevoked,
+            AlertOutcome::IgnoredDuplicate,
+        ] {
+            assert_eq!(
+                AlertOutcome::from_wire_label(outcome.wire_label()),
+                Some(outcome)
+            );
+        }
+        assert_eq!(AlertOutcome::from_wire_label("bogus"), None);
     }
 
     #[test]

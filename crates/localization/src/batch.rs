@@ -2,7 +2,7 @@
 //!
 //! The simulator's impact phase solves one MMSE problem per sensor, and
 //! robust estimators re-solve the same reference set many times while
-//! filtering. The scalar [`MmseEstimator`](crate::MmseEstimator) is
+//! filtering. The scalar [`MmseEstimator`] is
 //! correct but re-derives anchor geometry from `&[LocationReference]` on
 //! every call and forces callers to materialize filtered subsets into
 //! fresh `Vec`s. This module provides the allocation-free fast path:
@@ -115,7 +115,7 @@ impl MmseScratch {
 }
 
 /// MMSE over [`MmseScratch`]: bit-identical to
-/// [`MmseEstimator`](crate::MmseEstimator) — same float operations in the
+/// [`MmseEstimator`] — same float operations in the
 /// same order — but free of per-call allocation and able to solve filtered
 /// subsets without materializing them.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

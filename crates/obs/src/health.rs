@@ -30,6 +30,8 @@
 //! - [`CounterAnomalyDetector`] — a `revocation` event without τ′+1
 //!   distinct accepted accusers, or an `alerts.summary` whose delivered
 //!   total disagrees with the per-decision `bs.alert` events;
+//! - [`MalformedInputDetector`] — more malformed input lines than an
+//!   alerter stream's budget allows;
 //! - [`CacheHitRateDetector`] — a warm sweep whose cache-hit rate
 //!   collapsed;
 //! - [`CheckpointGapDetector`] — completed cells running far ahead of the
@@ -279,8 +281,13 @@ struct TraceCounters {
 ///   `bs.alert` decision events seen — a mismatch means decisions went
 ///   uncounted (exactly the telemetry bug class satellite S3 fixes).
 ///
-/// τ′ is learned from `run.start`/`cell.start` events (field `tau_prime`)
-/// and falls back to the constructor value.
+/// τ′ is learned from `run.start`/`cell.start`/`alerter.deploy` events
+/// (field `tau_prime`) and falls back to the constructor value.
+///
+/// The streaming alerter's own decision vocabulary is checked under the
+/// same invariants: `alerter.decision` counts like `bs.alert` and
+/// `alerter.revocation` like `revocation`, so one detector audits both
+/// the batch recording and the live re-decisions in a replayed stream.
 #[derive(Debug)]
 pub struct CounterAnomalyDetector {
     default_tau_prime: Option<u64>,
@@ -307,14 +314,19 @@ impl HealthDetector for CounterAnomalyDetector {
         let detector = self.name().to_string();
         let trace = event.ctx.map(|c| c.trace_id);
         match event.kind.as_str() {
-            "run.start" | "cell.start" => {
+            "run.start" | "cell.start" | "alerter.deploy" => {
                 if let Some(tp) = field_u64(event, "tau_prime") {
                     self.traces.entry(trace).or_default().tau_prime = Some(tp);
                 }
             }
-            "bs.alert" => {
+            "bs.alert" | "alerter.decision" => {
                 let counters = self.traces.entry(trace).or_default();
-                counters.decisions += 1;
+                // `alerts.summary` reconciles `delivered` against the batch
+                // path's `bs.alert` events only; the alerter's re-decisions
+                // still feed the quorum tracking below.
+                if event.kind == "bs.alert" {
+                    counters.decisions += 1;
+                }
                 let accepted = matches!(
                     field_str(event, "outcome"),
                     Some("accepted" | "accepted_and_revoked")
@@ -330,7 +342,7 @@ impl HealthDetector for CounterAnomalyDetector {
                     }
                 }
             }
-            "revocation" => {
+            "revocation" | "alerter.revocation" => {
                 let counters = self.traces.entry(trace).or_default();
                 let tau_prime = counters.tau_prime.or(self.default_tau_prime);
                 let Some(tau_prime) = tau_prime else {
@@ -376,6 +388,59 @@ impl HealthDetector for CounterAnomalyDetector {
                 }
             }
             _ => {}
+        }
+    }
+}
+
+/// Alerts when a stream carried more malformed input lines than a budget.
+///
+/// The alerter survives malformed JSONL (counts it, emits
+/// `alerter.malformed`, moves on); this detector turns those per-line
+/// events into one actionable `health.malformed_input` alert when the
+/// budget is exceeded — a producer that suddenly speaks a different
+/// dialect should fail the smoke job, a single truncated line should not.
+#[derive(Debug)]
+pub struct MalformedInputDetector {
+    max_malformed: u64,
+    seen: u64,
+    breached: bool,
+}
+
+impl MalformedInputDetector {
+    /// Alerts once more than `max_malformed` malformed lines were seen
+    /// (`0` = any malformed line alerts).
+    pub fn new(max_malformed: u64) -> Self {
+        MalformedInputDetector {
+            max_malformed,
+            seen: 0,
+            breached: false,
+        }
+    }
+}
+
+impl HealthDetector for MalformedInputDetector {
+    fn name(&self) -> &'static str {
+        "malformed_input"
+    }
+
+    fn on_event(&mut self, event: &Event, alerts: &mut Vec<HealthAlert>) {
+        if event.kind != "alerter.malformed" {
+            return;
+        }
+        self.seen += 1;
+        if self.seen > self.max_malformed && !self.breached {
+            self.breached = true;
+            alerts.push(HealthAlert {
+                detector: self.name().to_string(),
+                message: format!(
+                    "{} malformed input line(s) exceed the budget of {}",
+                    self.seen, self.max_malformed
+                ),
+                fields: vec![
+                    ("seen".to_string(), Value::U64(self.seen)),
+                    ("budget".to_string(), Value::U64(self.max_malformed)),
+                ],
+            });
         }
     }
 }
@@ -682,6 +747,55 @@ mod tests {
         );
         assert_eq!(alerts.len(), 1);
         assert!(alerts[0].message.contains("5 delivered"));
+    }
+
+    #[test]
+    fn counter_anomaly_audits_alerter_decisions_too() {
+        let mut det = CounterAnomalyDetector::new(None);
+        let mut alerts = Vec::new();
+        det.on_event(
+            &ev("alerter.deploy", &[("tau_prime", Value::U64(2))]),
+            &mut alerts,
+        );
+        det.on_event(
+            &ev(
+                "alerter.decision",
+                &[
+                    ("reporter", Value::U64(1)),
+                    ("target", Value::U64(9)),
+                    ("outcome", Value::Str("accepted".into())),
+                ],
+            ),
+            &mut alerts,
+        );
+        det.on_event(
+            &ev("alerter.revocation", &[("target", Value::U64(9))]),
+            &mut alerts,
+        );
+        assert_eq!(alerts.len(), 1, "one accuser is below the tau'+1=3 quorum");
+        // alerter.decision events do not disturb the bs.alert/delivered
+        // reconciliation.
+        det.on_event(
+            &ev("alerts.summary", &[("delivered", Value::U64(0))]),
+            &mut alerts,
+        );
+        assert_eq!(alerts.len(), 1);
+    }
+
+    #[test]
+    fn malformed_input_respects_budget_and_fires_once() {
+        let mut det = MalformedInputDetector::new(2);
+        let mut alerts = Vec::new();
+        det.on_event(&ev("alerter.malformed", &[]), &mut alerts);
+        det.on_event(&ev("alerter.malformed", &[]), &mut alerts);
+        assert!(alerts.is_empty(), "within budget");
+        det.on_event(&ev("alerter.malformed", &[]), &mut alerts);
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].message.contains("exceed the budget"));
+        det.on_event(&ev("alerter.malformed", &[]), &mut alerts);
+        assert_eq!(alerts.len(), 1, "fires once");
+        det.on_event(&ev("other", &[]), &mut alerts);
+        assert!(alerts.is_empty() || alerts.len() == 1);
     }
 
     #[test]

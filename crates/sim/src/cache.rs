@@ -81,7 +81,7 @@ const HEADER_LEN: u64 = 4096;
 const SLOT_LEN: u64 = 16;
 /// Upper bound on shards — the header reserves an indexed-length word per
 /// shard (256 × 8 = 2048 bytes of the 4096-byte header).
-pub const MAX_SHARDS: u32 = 256;
+pub(crate) const MAX_SHARDS: u32 = 256;
 /// Slots are kept under 70% full; beyond that the index grows by rebuild.
 const MAX_LOAD_NUM: u64 = 7;
 const MAX_LOAD_DEN: u64 = 10;
@@ -637,7 +637,8 @@ impl BinaryCache {
     }
 
     /// Slot capacity of the index (a power of two).
-    pub fn capacity(&self) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> u64 {
         self.capacity
     }
 
@@ -692,7 +693,7 @@ impl BinaryCache {
     }
 
     /// The shard a key's record lands in (for telemetry).
-    pub fn shard_of(&self, key: CellKey) -> u32 {
+    pub(crate) fn shard_of(&self, key: CellKey) -> u32 {
         (key.0 % u64::from(self.shard_count)) as u32
     }
 

@@ -90,7 +90,7 @@ pub struct TopologyKey {
 }
 
 /// The detector/revocation-policy projection of a [`SimConfig`] — every
-/// field *not* in [`TopologyKey`]. Policy knobs parameterize how the
+/// field *not* in `TopologyKey`. Policy knobs parameterize how the
 /// deployed network is probed, judged, and revoked; none of them can
 /// perturb node placement (see [`SimConfig::topology_key`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -260,7 +260,7 @@ impl SimConfig {
     }
 
     /// The placement-determining half of this configuration; see
-    /// [`TopologyKey`].
+    /// `TopologyKey`.
     pub fn topology_key(&self) -> TopologyKey {
         TopologyKey {
             nodes: self.nodes,
@@ -274,7 +274,7 @@ impl SimConfig {
     }
 
     /// The detector/revocation-policy half of this configuration; see
-    /// [`PolicyKey`].
+    /// `PolicyKey`.
     pub fn policy_key(&self) -> PolicyKey {
         PolicyKey {
             max_ranging_error_ft: self.max_ranging_error_ft,

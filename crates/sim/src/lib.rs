@@ -32,7 +32,7 @@
 //! ```
 //!
 //! Degraded conditions are injected by attaching a
-//! [`FaultPlan`](secloc_faults::FaultPlan) — see `RunOptions::faults` and
+//! [`FaultPlan`] — see `RunOptions::faults` and
 //! the `secloc-faults` crate.
 
 #![forbid(unsafe_code)]
@@ -42,7 +42,6 @@ pub mod cache;
 mod config;
 mod deploy;
 pub mod distributed;
-mod experiment;
 mod metrics;
 pub mod orchestrator;
 mod probe;
@@ -54,7 +53,6 @@ pub mod trace;
 pub use cache::{BinaryCache, CacheRecovery};
 pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use deploy::{Deployment, NodeKind};
-pub use experiment::Experiment;
 pub use metrics::{average_outcomes, AggregateOutcome, SimOutcome};
 pub use orchestrator::{CacheFormat, Orchestrator, SweepCell, SweepReport, SweepSpec, WorkerStats};
 pub use probe::{ProbeContext, ProbeFaults, ProbeResult};

@@ -335,7 +335,7 @@ impl SweepSpec {
     /// cell keys in order. Checkpoints carry it so a resume against a
     /// different grid (or code version) is rejected instead of silently
     /// splicing unrelated results.
-    pub fn grid_key(&self, tag: &str) -> CellKey {
+    pub(crate) fn grid_key(&self, tag: &str) -> CellKey {
         let mut joined = String::with_capacity(self.cells.len() * 17);
         for cell in &self.cells {
             use std::fmt::Write as _;
@@ -834,8 +834,8 @@ fn claim_batch(cursor: &AtomicUsize, total: usize, workers: usize) -> std::ops::
     }
 }
 
-/// The sweep engine. Configure with the builder methods, then [`run`]
-/// (`Orchestrator::run`) any number of [`SweepSpec`]s.
+/// The sweep engine. Configure with the builder methods, then run
+/// ([`Orchestrator::run`]) any number of [`SweepSpec`]s.
 #[derive(Debug)]
 pub struct Orchestrator {
     workers: usize,

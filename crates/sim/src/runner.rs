@@ -23,20 +23,6 @@ use secloc_obs::{Obs, Value};
 use secloc_radio::loss::send_reliable;
 use secloc_radio::{Cycles, EventQueue};
 
-/// The wire label of one base-station decision, as carried by `bs.alert`
-/// events (and cross-checked by `secloc_obs::health`'s counter-anomaly
-/// detector — keep the two vocabularies in sync).
-fn outcome_label(outcome: secloc_core::AlertOutcome) -> &'static str {
-    use secloc_core::AlertOutcome::*;
-    match outcome {
-        Accepted => "accepted",
-        AcceptedAndRevoked => "accepted_and_revoked",
-        IgnoredReporterBudget => "ignored_reporter_budget",
-        IgnoredTargetRevoked => "ignored_target_revoked",
-        IgnoredDuplicate => "ignored_duplicate",
-    }
-}
-
 /// A reference a sensor kept for localization, tagged with its source.
 #[derive(Debug, Clone, Copy)]
 struct KeptReference {
@@ -693,6 +679,10 @@ impl Runner {
         telemetry.emit("phase", &[("name", Value::Str("revocation".to_string()))]);
         let revocation_span = telemetry.span("phase.revocation");
         let alert_metrics = telemetry.metrics().map(|r| AlertMetrics::new(r));
+        // Every delivered alert is arbitrated by the shared
+        // `RevocationMachine` (behind the `BaseStation` façade) — the same
+        // state machine the streaming `secloc-alerter` service runs, so
+        // the batch and stream paths cannot drift apart.
         let mut station = BaseStation::new(RevocationConfig {
             tau: cfg.tau,
             tau_prime: cfg.tau_prime,
@@ -722,7 +712,7 @@ impl Runner {
                             ("reporter", Value::U64(alert.reporter.0 as u64)),
                             ("target", Value::U64(alert.target.0 as u64)),
                             ("source", Value::Str(source_label.to_string())),
-                            ("outcome", Value::Str(outcome_label(outcome).to_string())),
+                            ("outcome", Value::Str(outcome.wire_label().to_string())),
                         ],
                     );
                 }

@@ -9,13 +9,12 @@
 //!
 //! The fault-injection subsystem makes a second bit-identity claim: a run
 //! under an **empty** `FaultPlan` is indistinguishable — same draws, same
-//! bits — from a run of the pre-fault simulator, and the deprecated
-//! `Experiment` wrappers still produce the same outcomes as `Runner`.
+//! bits — from a run of the pre-fault simulator.
 
 use proptest::prelude::*;
 use secloc_faults::{BurstLossSpec, ChurnSpec, NoiseRegion, Outage};
 use secloc_geometry::Point2;
-use secloc_sim::{Experiment, FaultPlan, Orchestrator, RunOptions, Runner, SimConfig, SweepSpec};
+use secloc_sim::{FaultPlan, Orchestrator, RunOptions, Runner, SimConfig, SweepSpec};
 
 fn base() -> SimConfig {
     SimConfig {
@@ -93,9 +92,9 @@ fn optimized_run_matches_reference_across_seeds_and_configs() {
 
 #[test]
 fn empty_fault_plan_is_bit_identical_to_fault_free_run() {
-    // Three ways of saying "no faults" — the config default, an explicit
-    // empty plan, and the legacy `Experiment::run()` wrapper — must all
-    // yield the exact same `SimOutcome`, on both execution paths.
+    // Two ways of saying "no faults" — the config default and an explicit
+    // empty plan — must yield the exact same `SimOutcome`, on both
+    // execution paths.
     for (name, cfg) in corner_configs() {
         for seed in 0..3u64 {
             let runner = Runner::new(cfg.clone(), seed);
@@ -113,12 +112,6 @@ fn empty_fault_plan_is_bit_identical_to_fault_free_run() {
             assert_eq!(
                 plain, reference_empty,
                 "reference path under empty plan diverged: {name}, seed {seed}"
-            );
-            #[allow(deprecated)]
-            let legacy = Experiment::new(cfg.clone(), seed).run();
-            assert_eq!(
-                plain, legacy,
-                "legacy wrapper diverged: {name}, seed {seed}"
             );
         }
     }

@@ -94,8 +94,8 @@ pub mod prelude {
     pub use secloc_attack::{Action, BeaconStrategy, CompromisedBeacon, Wormhole};
     pub use secloc_core::{
         Alert, BaseStation, DetectionOutcome, DetectionPipeline, GeographicLeash, Observation,
-        RevocationConfig, RttFilter, SignalDetector, TemporalLeash, WormholeDetector,
-        WormholeFilter,
+        ProtocolAction, ProtocolEvent, RevocationConfig, RevocationMachine, RttFilter,
+        SignalDetector, TemporalLeash, WormholeDetector, WormholeFilter,
     };
     pub use secloc_crypto::{IdSpace, Key, Mac, NodeId, PairwiseKeyStore};
     pub use secloc_faults::{BurstLossSpec, ChurnSpec, FaultPlan, NoiseRegion};
@@ -103,7 +103,5 @@ pub mod prelude {
     pub use secloc_localization::{Estimator, LocationReference, MmseEstimator};
     pub use secloc_obs::Obs;
     pub use secloc_radio::{timing::RttModel, Cycles};
-    pub use secloc_sim::{
-        Experiment, RunOptions, RunOutput, Runner, SimConfig, SimConfigBuilder, SimOutcome,
-    };
+    pub use secloc_sim::{RunOptions, RunOutput, Runner, SimConfig, SimConfigBuilder, SimOutcome};
 }

@@ -93,7 +93,7 @@ pub mod collection {
     use crate::test_runner::{Rejected, TestRng};
     use core::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`].
+    /// A size specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
