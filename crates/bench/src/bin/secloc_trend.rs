@@ -4,8 +4,9 @@
 //! `BENCH_robustness.json`), compares each gated metric against the hard
 //! limits the reports themselves declare **and** against the recent
 //! history recorded in `results/bench_history.jsonl` (keyed by outcome
-//! revision + config fingerprint so numbers from a different code
-//! revision or grid never pollute a baseline), then writes
+//! revision + config fingerprint + bench mode so numbers from a
+//! different code revision, grid, or quick/full mode never pollute a
+//! baseline), then writes
 //! `results/BENCH_trend.json` with one verdict per metric:
 //!
 //! - `fail` — a hard limit is broken (the old CI inline-python check);
@@ -124,6 +125,12 @@ struct ReportKey {
     code_version: String,
     outcome_revision: u64,
     config_fingerprint: String,
+    /// `"quick"` or `"full"` — the bench grid mode. Quick-mode runs use
+    /// smaller iteration grids whose ratios are not comparable to
+    /// full-mode numbers, so the two must never share a baseline (a
+    /// single full-mode entry in a quick-mode window once parked
+    /// `sweep_sharing` in a permanent warn).
+    mode: String,
 }
 
 fn report_key(perf: Option<&JsonValue>, robustness: Option<&JsonValue>) -> ReportKey {
@@ -137,18 +144,23 @@ fn report_key(perf: Option<&JsonValue>, robustness: Option<&JsonValue>) -> Repor
         .into_iter()
         .flatten()
         .find_map(|r| r.get("outcome_revision")?.as_u64());
+    let quick = [perf, robustness]
+        .into_iter()
+        .flatten()
+        .find_map(|r| r.get("quick")?.as_bool());
     ReportKey {
         code_version: pick("code_version").unwrap_or_else(|| "unknown".to_string()),
         outcome_revision: revision.unwrap_or(0),
         config_fingerprint: pick("config_fingerprint").unwrap_or_else(|| "unknown".to_string()),
+        mode: if quick.unwrap_or(false) { "quick" } else { "full" }.to_string(),
     }
 }
 
 /// Per-metric baselines: the median of each metric's values over the last
-/// `window` history entries whose key matches (same outcome revision and
-/// config fingerprint — the code version is recorded for the audit trail
-/// but does not partition the history, or a routine version bump would
-/// silently reset every baseline).
+/// `window` history entries whose key matches (same outcome revision,
+/// config fingerprint, and bench mode — the code version is recorded for
+/// the audit trail but does not partition the history, or a routine
+/// version bump would silently reset every baseline).
 fn baselines(
     history_path: &Path,
     key: &ReportKey,
@@ -166,7 +178,12 @@ fn baselines(
             entry.get("outcome_revision").and_then(|v| v.as_u64()) == Some(key.outcome_revision);
         let same_fp = entry.get("config_fingerprint").and_then(|v| v.as_str())
             == Some(key.config_fingerprint.as_str());
-        if same_rev && same_fp {
+        // Entries written before the mode field existed never match: they
+        // mixed quick- and full-mode numbers, so re-seeding the baseline
+        // is exactly what we want.
+        let same_mode =
+            entry.get("mode").and_then(|v| v.as_str()) == Some(key.mode.as_str());
+        if same_rev && same_fp && same_mode {
             matching.push(entry);
         }
     }
@@ -208,7 +225,7 @@ fn collect_metrics(
         // The report carries its own targets; fall back to the historical
         // CI floors when a field predates them.
         if let Some(v) = number_at(perf, &["sections", "full_run", "ratio"]) {
-            let floor = number_at(perf, &["full_run_ratio_target"]).unwrap_or(2.0);
+            let floor = number_at(perf, &["full_run_ratio_target"]).unwrap_or(3.5);
             out.push(("perf.full_run.ratio".to_string(), v, Limit::Floor(floor)));
         }
         if let Some(v) = number_at(perf, &["sweep_sharing", "ratio"]) {
@@ -220,9 +237,20 @@ fn collect_metrics(
             ));
         }
         if let Some(v) = number_at(perf, &["location_phase", "ratio"]) {
-            let floor = number_at(perf, &["location_phase", "target"]).unwrap_or(1.3);
+            let floor = number_at(perf, &["location_phase", "target"]).unwrap_or(3.0);
             out.push((
                 "perf.location_phase.ratio".to_string(),
+                v,
+                Limit::Floor(floor),
+            ));
+        }
+        if let Some(v) = number_at(perf, &["location_parallel", "efficiency"]) {
+            // Per-worker scaling of the intra-run localization pool: the
+            // serial phase time divided by (parallel time × workers).
+            let floor =
+                number_at(perf, &["location_parallel", "efficiency_target"]).unwrap_or(0.6);
+            out.push((
+                "perf.location_parallel.efficiency".to_string(),
                 v,
                 Limit::Floor(floor),
             ));
@@ -294,6 +322,8 @@ fn write_trend_report(
     let _ = write!(s, ",\n  \"outcome_revision\": {}", key.outcome_revision);
     s.push_str(",\n  \"config_fingerprint\": ");
     push_json_string(&mut s, &key.config_fingerprint);
+    s.push_str(",\n  \"mode\": ");
+    push_json_string(&mut s, &key.mode);
     let _ = write!(s, ",\n  \"history_entries\": {history_entries}");
     s.push_str(",\n  \"metrics\": [");
     for (i, m) in metrics.iter().enumerate() {
@@ -348,6 +378,8 @@ fn append_history(path: &Path, key: &ReportKey, metrics: &[Metric]) -> std::io::
         key.outcome_revision
     );
     push_json_string(&mut line, &key.config_fingerprint);
+    line.push_str(",\"mode\":");
+    push_json_string(&mut line, &key.mode);
     let _ = write!(line, ",\"recorded_unix\":{recorded},\"metrics\":{{");
     for (i, m) in metrics.iter().enumerate() {
         if i > 0 {

@@ -42,9 +42,42 @@ impl MmseScratch {
         Self::default()
     }
 
+    /// An empty scratch pre-sized for reference sets of up to `rows`
+    /// rows — e.g. the topology's maximum audible-beacon count — so a
+    /// whole run's worth of `load` calls never reallocates. Pair with
+    /// [`MmseScratch::capacity`] and a debug assertion to catch mid-run
+    /// growth.
+    pub fn with_capacity(rows: usize) -> Self {
+        MmseScratch {
+            ax: Vec::with_capacity(rows),
+            ay: Vec::with_capacity(rows),
+            d: Vec::with_capacity(rows),
+            idx: Vec::with_capacity(rows),
+        }
+    }
+
+    /// The row capacity currently reserved (the smallest of the SoA
+    /// buffers' capacities — they grow in lockstep, so after
+    /// [`MmseScratch::with_capacity`] this is exactly the requested size
+    /// until a larger set is loaded).
+    pub fn capacity(&self) -> usize {
+        self.ax
+            .capacity()
+            .min(self.ay.capacity())
+            .min(self.d.capacity())
+            .min(self.idx.capacity())
+    }
+
     /// Loads `refs` into the SoA arrays, replacing any previous contents,
     /// and marks every row active.
     pub fn load(&mut self, refs: &[LocationReference]) {
+        self.load_from_iter(refs.iter().copied());
+    }
+
+    /// [`MmseScratch::load`] from any reference iterator — lets callers
+    /// holding references embedded in richer records load without
+    /// materializing a `Vec<LocationReference>` first.
+    pub fn load_from_iter(&mut self, refs: impl Iterator<Item = LocationReference>) {
         self.ax.clear();
         self.ay.clear();
         self.d.clear();
@@ -117,15 +150,30 @@ impl MmseScratch {
 /// MMSE over [`MmseScratch`]: bit-identical to
 /// [`MmseEstimator`] — same float operations in the
 /// same order — but free of per-call allocation and able to solve filtered
-/// subsets without materializing them.
+/// subsets without materializing them. The inner accumulations run through
+/// the lane kernels of [`crate::simd`]; with `fast_math` off (the default)
+/// their exact reduction order keeps the bit-identity contract.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BatchedMmse {
     /// The scalar solver whose parameters (iterations, tolerance) govern
     /// the batched chain.
     pub inner: MmseEstimator,
+    /// Opt into the reassociated lane reduction (`(p0+p1)+(p2+p3)` over
+    /// four partial accumulators). Faster, but results are only
+    /// tolerance-equal to the scalar chain — leave off anywhere outcomes
+    /// must stay bit-identical.
+    pub fast_math: bool,
 }
 
 impl BatchedMmse {
+    /// The bit-identical solver around `inner` (FastMath off).
+    pub fn exact(inner: MmseEstimator) -> Self {
+        BatchedMmse {
+            inner,
+            fast_math: false,
+        }
+    }
+
     /// Solves over the scratch's active rows.
     ///
     /// # Errors
@@ -139,28 +187,50 @@ impl BatchedMmse {
                 need: self.inner.min_references(),
             });
         }
-        let seed = linear_seed_rows(s)?;
-        let refined = gauss_newton_rows(&self.inner, seed, s)?;
+        let seed = linear_seed_rows(s, self.fast_math)?;
+        let refined = gauss_newton_rows(&self.inner, seed, s, self.fast_math)?;
         Ok(s.estimate_at(refined))
     }
 }
 
-/// Mirror of `mmse::linear_seed` over the active rows. Keep in lockstep.
-fn linear_seed_rows(s: &MmseScratch) -> Result<Point2, EstimateError> {
+/// Mirror of `mmse::linear_seed` over the active rows, with the row
+/// accumulation delegated to the [`crate::simd`] lane kernel. Keep the
+/// surrounding solve in lockstep with the scalar version.
+fn linear_seed_rows(s: &MmseScratch, fast: bool) -> Result<Point2, EstimateError> {
     let &last = s.idx.last().expect("caller checked len >= 3");
-    let (ax, ay, ad) = (s.ax[last], s.ay[last], s.d[last]);
-    let (mut m00, mut m01, mut m11) = (0.0f64, 0.0f64, 0.0f64);
-    let mut v = Vector2::ZERO;
-    for &i in &s.idx[..s.idx.len() - 1] {
-        let row_x = 2.0 * (s.ax[i] - ax);
-        let row_y = 2.0 * (s.ay[i] - ay);
-        let rhs =
-            ad * ad - s.d[i] * s.d[i] + s.ax[i] * s.ax[i] + s.ay[i] * s.ay[i] - ax * ax - ay * ay;
-        m00 += row_x * row_x;
-        m01 += row_x * row_y;
-        m11 += row_y * row_y;
-        v += Vector2::new(row_x * rhs, row_y * rhs);
-    }
+    // The active set is the identity exactly when nothing was filtered
+    // (`idx` only ever shrinks from `0..len`); route that common case
+    // through the contiguous kernel instantiation — same operations in the
+    // same order, but addressable without the index gather.
+    let acc = if s.idx.len() == s.ax.len() {
+        // Slices trimmed to exactly the row count so the bounds checks
+        // inside the kernel fold away (the loop bound and the slice length
+        // become the same value).
+        let m = s.idx.len() - 1;
+        crate::simd::seed_accumulate(
+            &s.ax[..m],
+            &s.ay[..m],
+            &s.d[..m],
+            crate::simd::Dense(m),
+            s.ax[last],
+            s.ay[last],
+            s.d[last],
+            fast,
+        )
+    } else {
+        crate::simd::seed_accumulate(
+            &s.ax,
+            &s.ay,
+            &s.d,
+            &s.idx[..s.idx.len() - 1],
+            s.ax[last],
+            s.ay[last],
+            s.d[last],
+            fast,
+        )
+    };
+    let (m00, m01, m11) = (acc.m00, acc.m01, acc.m11);
+    let v = Vector2::new(acc.vx, acc.vy);
     let det = m00 * m11 - m01 * m01;
     let scale = (m00 + m11).max(1e-30);
     if det.abs() < 1e-9 * scale * scale {
@@ -172,29 +242,34 @@ fn linear_seed_rows(s: &MmseScratch) -> Result<Point2, EstimateError> {
     ))
 }
 
-/// Mirror of `MmseEstimator::gauss_newton` over the active rows. Keep in
-/// lockstep.
+/// Mirror of `MmseEstimator::gauss_newton` over the active rows, with the
+/// per-iteration accumulation delegated to the [`crate::simd`] lane
+/// kernel. Keep the surrounding solve in lockstep with the scalar version.
 fn gauss_newton_rows(
     est: &MmseEstimator,
     mut p: Point2,
     s: &MmseScratch,
+    fast: bool,
 ) -> Result<Point2, EstimateError> {
+    let dense = s.idx.len() == s.ax.len();
+    let n = s.idx.len();
     for _ in 0..est.max_iterations {
-        let (mut jtj00, mut jtj01, mut jtj11) = (0.0f64, 0.0f64, 0.0f64);
-        let mut jtr = Vector2::ZERO;
-        for &i in &s.idx {
-            let diff = p - s.anchor(i);
-            let dist = diff.norm();
-            if dist < 1e-9 {
-                continue;
-            }
-            let g = diff / dist;
-            let res = dist - s.d[i];
-            jtj00 += g.x * g.x;
-            jtj01 += g.x * g.y;
-            jtj11 += g.y * g.y;
-            jtr += g * res;
-        }
+        let acc = if dense {
+            // Trimmed slices: loop bound == slice length, bounds checks fold.
+            crate::simd::gn_accumulate(
+                p.x,
+                p.y,
+                &s.ax[..n],
+                &s.ay[..n],
+                &s.d[..n],
+                crate::simd::Dense(n),
+                fast,
+            )
+        } else {
+            crate::simd::gn_accumulate(p.x, p.y, &s.ax, &s.ay, &s.d, s.idx.as_slice(), fast)
+        };
+        let (jtj00, jtj01, jtj11) = (acc.jtj00, acc.jtj01, acc.jtj11);
+        let jtr = Vector2::new(acc.jtrx, acc.jtry);
         let det = jtj00 * jtj11 - jtj01 * jtj01;
         if det.abs() < 1e-12 {
             return Ok(p);

@@ -98,24 +98,21 @@ impl ResidualFilterEstimator {
         scratch: &mut MmseScratch,
     ) -> Result<Estimate, EstimateError> {
         scratch.load(refs);
-        let solver = BatchedMmse { inner: self.inner };
+        let solver = BatchedMmse::exact(self.inner);
         loop {
             let est = solver.estimate(scratch)?;
-            // Scan in active order, exactly like the Vec-backed loop; the
-            // index list undergoes the same swap_remove permutation the
-            // working Vec did, so the scan order stays in lockstep.
-            let (worst_pos, worst_abs) = scratch
-                .idx
-                .iter()
-                .enumerate()
-                .map(|(k, &i)| {
-                    (
-                        k,
-                        (est.position.distance(scratch.anchor(i)) - scratch.d[i]).abs(),
-                    )
-                })
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("non-empty reference set");
+            // Lane-unrolled scan in active order, exactly like the
+            // Vec-backed loop (same max_by tie-break); the index list
+            // undergoes the same swap_remove permutation the working Vec
+            // did, so the scan order stays in lockstep.
+            let (worst_pos, worst_abs) = crate::simd::worst_abs_residual(
+                est.position.x,
+                est.position.y,
+                &scratch.ax,
+                &scratch.ay,
+                &scratch.d,
+                scratch.idx.as_slice(),
+            );
             if worst_abs <= self.inlier_threshold_ft || scratch.active_len() <= self.min_references
             {
                 return Ok(est);
@@ -201,12 +198,15 @@ impl ConsensusEstimator {
             let Ok(candidate) = self.inner.estimate(&subset) else {
                 continue; // collinear minimal sample
             };
-            let count = (0..refs.len())
-                .filter(|&i| {
-                    (candidate.position.distance(scratch.anchor(i)) - scratch.d[i]).abs()
-                        <= self.inlier_threshold_ft
-                })
-                .count();
+            let count = crate::simd::count_within(
+                candidate.position.x,
+                candidate.position.y,
+                &scratch.ax,
+                &scratch.ay,
+                &scratch.d,
+                refs.len(),
+                self.inlier_threshold_ft,
+            );
             if count > best.map_or(0, |(n, _)| n) {
                 best = Some((count, candidate.position));
             }
@@ -222,7 +222,7 @@ impl ConsensusEstimator {
             (winner.distance(secloc_geometry::Point2::new(ax[i], ay[i])) - d[i]).abs()
                 <= self.inlier_threshold_ft
         });
-        BatchedMmse { inner: self.inner }.estimate(scratch)
+        BatchedMmse::exact(self.inner).estimate(scratch)
     }
 }
 

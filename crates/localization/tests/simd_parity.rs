@@ -1,0 +1,158 @@
+//! Property-based bit-identity sweep for the lane-kernel solve chain.
+//!
+//! The generated reference sets deliberately include the degenerate
+//! shapes the scalar chain special-cases — collinear anchors, duplicate
+//! beacon positions, fewer than three active rows, and huge lie offsets —
+//! and assert that the lane-kernel `BatchedMmse` (and the scratch-backed
+//! robust estimators built on it) return *bit-for-bit* the scalar
+//! results, errors included.
+
+use proptest::prelude::*;
+use secloc_geometry::Point2;
+use secloc_localization::{
+    BatchedMmse, ConsensusEstimator, Estimate, EstimateError, Estimator, LocationReference,
+    MmseEstimator, MmseScratch, ResidualFilterEstimator,
+};
+
+/// One reference whose shape is drawn from the degenerate zoo: a free
+/// anchor, an anchor snapped onto a shared line (collinear pressure), a
+/// duplicate of the first anchor, or a liar with a huge offset distance.
+fn reference() -> impl Strategy<Value = (u8, f64, f64, f64)> {
+    (0u8..4, 0.0..1000.0f64, 0.0..1000.0f64, 0.0..400.0f64)
+}
+
+fn materialize(shapes: &[(u8, f64, f64, f64)]) -> Vec<LocationReference> {
+    shapes
+        .iter()
+        .map(|&(kind, x, y, d)| match kind {
+            // Collinear pressure: anchors on the y = x diagonal.
+            1 => LocationReference::new(Point2::new(x, x), d),
+            // Duplicate position of the first anchor (distances differ).
+            2 => {
+                let (_, fx, fy, _) = shapes[0];
+                LocationReference::new(Point2::new(fx, fy), d)
+            }
+            // Huge lie offset: distance wildly inconsistent with geometry.
+            3 => LocationReference::new(Point2::new(x, y), d + 10_000.0),
+            _ => LocationReference::new(Point2::new(x, y), d),
+        })
+        .collect()
+}
+
+fn assert_bits(a: &Result<Estimate, EstimateError>, b: &Result<Estimate, EstimateError>) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.position.x.to_bits(), y.position.x.to_bits());
+            assert_eq!(x.position.y.to_bits(), y.position.y.to_bits());
+            assert_eq!(x.residual_rms.to_bits(), y.residual_rms.to_bits());
+        }
+        (x, y) => assert_eq!(x, y),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Full active set, including sets below the 3-reference floor.
+    #[test]
+    fn batched_matches_scalar_bit_for_bit(
+        shapes in proptest::collection::vec(reference(), 1..16),
+    ) {
+        let refs = materialize(&shapes);
+        let mut s = MmseScratch::with_capacity(refs.len());
+        s.load(&refs);
+        assert_bits(
+            &MmseEstimator::default().estimate(&refs),
+            &BatchedMmse::default().estimate(&s),
+        );
+    }
+
+    /// Filtered subsets: the scratch's index-selected solve must match a
+    /// materialized subset solve, down to <3-row error cases.
+    #[test]
+    fn filtered_subset_matches_materialized(
+        shapes in proptest::collection::vec(reference(), 1..16),
+        mask in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let refs = materialize(&shapes);
+        let subset: Vec<LocationReference> = refs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask[*i])
+            .map(|(_, r)| *r)
+            .collect();
+        let mut s = MmseScratch::new();
+        s.load(&refs);
+        s.retain(|i| mask[i]);
+        assert_bits(
+            &MmseEstimator::default().estimate(&subset),
+            &BatchedMmse::default().estimate(&s),
+        );
+    }
+
+    /// The robust chains (residual filter, consensus) on top of the lane
+    /// kernels still match their Vec-backed counterparts exactly.
+    #[test]
+    fn robust_chains_match_vec_paths(
+        shapes in proptest::collection::vec(reference(), 3..14),
+    ) {
+        let refs = materialize(&shapes);
+        let mut s = MmseScratch::new();
+        let filter = ResidualFilterEstimator::default();
+        assert_bits(&filter.estimate(&refs), &filter.estimate_with(&refs, &mut s));
+        let consensus = ConsensusEstimator::default();
+        assert_bits(
+            &consensus.estimate(&refs),
+            &consensus.estimate_with(&refs, &mut s),
+        );
+    }
+
+    /// FastMath is *not* bit-identical, but must stay within solver
+    /// tolerance of the exact chain on well-conditioned geometry.
+    #[test]
+    fn fast_math_stays_within_tolerance(
+        truth in (100.0..900.0f64, 100.0..900.0f64),
+        anchors in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 4..12),
+    ) {
+        let t = Point2::new(truth.0, truth.1);
+        let refs: Vec<LocationReference> = anchors
+            .iter()
+            .map(|&(x, y)| {
+                let a = Point2::new(x, y);
+                LocationReference::new(a, a.distance(t))
+            })
+            .collect();
+        // Require a well-spread triangle so both modes take the same
+        // branch through the degenerate-geometry guards.
+        prop_assume!(anchors.iter().enumerate().any(|(i, &a)| {
+            anchors.iter().enumerate().any(|(j, &b)| {
+                i < j && anchors.iter().skip(j + 1).any(|&c| {
+                    let abx = b.0 - a.0;
+                    let aby = b.1 - a.1;
+                    let acx = c.0 - a.0;
+                    let acy = c.1 - a.1;
+                    (abx * acy - aby * acx).abs() > 10_000.0
+                })
+            })
+        }));
+        let mut s = MmseScratch::new();
+        s.load(&refs);
+        let exact = BatchedMmse::default().estimate(&s);
+        let fast = BatchedMmse {
+            fast_math: true,
+            ..Default::default()
+        }
+        .estimate(&s);
+        match (exact, fast) {
+            (Ok(e), Ok(f)) => {
+                prop_assert!(
+                    e.position.distance(f.position) < 1e-5,
+                    "exact {} vs fast {}",
+                    e.position,
+                    f.position
+                );
+            }
+            (e, f) => prop_assert_eq!(e, f),
+        }
+    }
+}

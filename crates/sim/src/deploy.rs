@@ -338,6 +338,19 @@ impl Deployment {
         (t.audible_offsets[hi as usize] - t.audible_offsets[lo as usize]) as usize
     }
 
+    /// The largest audible-beacon count of any single node — an upper
+    /// bound on every reference set a sensor can assemble, and therefore
+    /// the right capacity to pre-size a per-run
+    /// [`secloc_localization::MmseScratch`] with.
+    pub fn max_audible_len(&self) -> usize {
+        let t = &self.topology;
+        t.audible_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// All beacon indices of a kind.
     pub fn beacons_of_kind(&self, kind: NodeKind) -> Vec<u32> {
         (0..self.config.beacons)

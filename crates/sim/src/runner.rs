@@ -18,16 +18,144 @@ use secloc_attack::{Action, CollusionPolicy};
 use secloc_core::{Alert, AlertMetrics, BaseStation, RevocationConfig};
 use secloc_crypto::NodeId;
 use secloc_faults::{AlertChannel, ChurnSchedule, DriftTable, FaultPlan, NoiseField};
-use secloc_localization::{Estimator, LocationReference, MmseEstimator};
+use secloc_localization::{BatchedMmse, Estimator, LocationReference, MmseEstimator, MmseScratch};
 use secloc_obs::{Obs, Value};
 use secloc_radio::loss::send_reliable;
 use secloc_radio::{Cycles, EventQueue};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A reference a sensor kept for localization, tagged with its source.
 #[derive(Debug, Clone, Copy)]
 struct KeptReference {
     beacon: u32,
     reference: LocationReference,
+}
+
+/// Flat probe-pair schedule for the optimized path.
+///
+/// The [`EventQueue`]'s `(dispatch time, insertion sequence)` priority is
+/// packed into a single `u64` sort key — dispatch times are drawn from
+/// `0..1_000_000` (well under 2³²) and the sequence number is the push
+/// index — so one stable sort over a flat vec reproduces the heap's drain
+/// order exactly while skipping both the per-push sift-up and the
+/// drain-time comparison sort of three-field entries. The sort itself is
+/// a three-pass LSD counting radix over the 24 time bits: each pass is
+/// stable, so entries with equal dispatch times keep insertion order,
+/// which is precisely the sequence tie-break. The reference path keeps
+/// the real [`EventQueue`] so the before/after perf ratio stays honest.
+struct ScheduledPairs {
+    entries: Vec<(u64, u32, u32)>,
+}
+
+impl ScheduledPairs {
+    fn with_capacity(n: usize) -> Self {
+        ScheduledPairs {
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    fn schedule(&mut self, at: u64, u: u32, v: u32) {
+        debug_assert!(at < (1 << 32), "dispatch time overflows the packed key");
+        debug_assert!(self.entries.len() < u32::MAX as usize);
+        let key = (at << 32) | self.entries.len() as u64;
+        self.entries.push((key, u, v));
+    }
+
+    /// Consumes the schedule in `(time, sequence)` order — the exact
+    /// order [`EventQueue::drain_ordered`] yields.
+    ///
+    /// LSD radix sort over the dispatch-time bits (`key >> 32`, which is
+    /// `< 1_000_000 < 2²⁴`): three stable 8-bit counting passes. Stability
+    /// makes the sequence bits in the low key half redundant for ordering —
+    /// equal times stay in push order — but they remain packed so a debug
+    /// assertion can check full-key monotonicity against the comparison
+    /// sort's contract.
+    fn drain_ordered(self) -> impl Iterator<Item = (Cycles, u32, u32)> {
+        let n = self.entries.len();
+        let mut src = self.entries;
+        let mut dst: Vec<(u64, u32, u32)> = vec![(0, 0, 0); n];
+        for shift in [32u32, 40, 48] {
+            let mut starts = [0usize; 256];
+            for &(key, _, _) in &src {
+                starts[((key >> shift) & 0xff) as usize] += 1;
+            }
+            let mut acc = 0usize;
+            for slot in &mut starts {
+                let count = *slot;
+                *slot = acc;
+                acc += count;
+            }
+            for &entry in &src {
+                let bucket = ((entry.0 >> shift) & 0xff) as usize;
+                dst[starts[bucket]] = entry;
+                starts[bucket] += 1;
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        debug_assert!(
+            src.windows(2).all(|w| w[0].0 <= w[1].0),
+            "radix drain order diverged from the packed-key comparison sort"
+        );
+        src.into_iter()
+            .map(|(key, u, v)| (Cycles::new(key >> 32), u, v))
+    }
+}
+
+/// Claims the next batch of indices off the shared cursor — the same
+/// shrinking-batch shape as the sweep scheduler's work-stealing loop, so
+/// workers take big bites while the range is full and finish together as
+/// it drains.
+fn claim_batch(cursor: &AtomicUsize, total: usize, workers: usize) -> Option<std::ops::Range<usize>> {
+    loop {
+        let start = cursor.load(Ordering::SeqCst);
+        if start >= total {
+            return None;
+        }
+        let remaining = total - start;
+        let take = (remaining / (workers * 4)).clamp(1, remaining);
+        if cursor
+            .compare_exchange(start, start + take, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return Some(start..start + take);
+        }
+    }
+}
+
+/// Maps `f` over `0..total` on `workers` scoped threads — each thread
+/// owns one state value from `make_state` (a pre-sized scratch, in
+/// practice) — and returns the results **in index order** regardless of
+/// which thread computed what. Callers fold the returned vec serially,
+/// so any accumulation stays bit-identical to an in-line loop.
+fn parallel_index_map<S, T, FS, F>(total: usize, workers: usize, make_state: FS, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let mut chunks: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = make_state();
+                    let mut out: Vec<(usize, Vec<T>)> = Vec::new();
+                    while let Some(range) = claim_batch(&cursor, total, workers) {
+                        let start = range.start;
+                        out.push((start, range.map(|i| f(i, &mut state)).collect()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("location worker panicked"))
+            .collect()
+    });
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    chunks.into_iter().flat_map(|(_, batch)| batch).collect()
 }
 
 /// Everything phases 1–2 produce that the revocation/impact phases
@@ -116,6 +244,7 @@ pub struct RunOptions<'a> {
     observed: Option<&'a Obs>,
     reference: bool,
     faults: Option<FaultPlan>,
+    location_workers: usize,
 }
 
 impl<'a> RunOptions<'a> {
@@ -158,6 +287,20 @@ impl<'a> RunOptions<'a> {
     /// even when the configuration carries a plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Solve the per-sensor localization chain of the impact phase on a
+    /// scoped pool of `n` worker threads (`0` — the default — and `1` both
+    /// mean in-line serial). Workers claim sensor batches off an atomic
+    /// cursor, each with its own pre-sized `MmseScratch`, and the per-
+    /// sensor contributions are merged back in sensor order before the
+    /// mean is folded — so outcomes and RNG streams are bit-identical to
+    /// the serial run (`tests/parallel_equivalence.rs` is the oracle).
+    /// Lives on the options, not `SimConfig`, so it can never perturb
+    /// sweep cell keys or config fingerprints.
+    pub fn location_workers(mut self, n: usize) -> Self {
+        self.location_workers = n;
         self
     }
 }
@@ -256,7 +399,8 @@ impl Runner {
             .faults
             .as_ref()
             .unwrap_or(&self.deployment.config().faults);
-        let (outcome, trace) = self.run_impl(telemetry, !options.reference, plan);
+        let (outcome, trace) =
+            self.run_impl(telemetry, !options.reference, plan, options.location_workers);
         RunOutput {
             outcome,
             trace: options.traced.then_some(trace),
@@ -274,11 +418,31 @@ impl Runner {
     /// loss/retransmissions) are untouched, so one stage serves every cell
     /// of a revocation-axis sweep via [`Runner::finish_from_stage`].
     pub fn probe_stage(&self) -> ProbeStage {
+        self.probe_stage_with(0)
+    }
+
+    /// [`Runner::probe_stage`] with the τ-independent impact precompute
+    /// solved on `workers` threads (`0`/`1` = serial; see
+    /// [`RunOptions::location_workers`]). Bit-identical snapshots either
+    /// way — the per-sensor solves are pure and the accumulation is merged
+    /// in sensor order.
+    pub fn probe_stage_with(&self, workers: usize) -> ProbeStage {
         let disabled = Obs::disabled();
         let plan = self.deployment.config().faults.clone();
         let core = self.stage_phases(&disabled, true, &plan);
-        let impact = self.impact_precompute(&core);
+        let impact = self.impact_precompute(&core, workers);
         ProbeStage { core, impact }
+    }
+
+    /// Re-solves the τ-independent per-sensor localization chain of
+    /// `stage`'s probe snapshot on `workers` threads and returns how many
+    /// sensors produced an estimate. The solve result is discarded — this
+    /// exists so the perf harness can time the parallel localization
+    /// pipeline in isolation from the (inherently serial, RNG-ordered)
+    /// probing phases, and so callers can check a worker count changes
+    /// nothing.
+    pub fn solve_impact_chain(&self, stage: &ProbeStage, workers: usize) -> usize {
+        self.impact_precompute(&stage.core, workers).n_b
     }
 
     /// Completes a plain optimized run from a shared probe-stage snapshot:
@@ -331,11 +495,18 @@ impl Runner {
             stage.core.order_rng.clone(),
             Some(&stage.impact),
             memo,
+            0,
         );
         outcome
     }
 
-    fn run_impl(&self, telemetry: &Obs, optimized: bool, plan: &FaultPlan) -> (SimOutcome, Trace) {
+    fn run_impl(
+        &self,
+        telemetry: &Obs,
+        optimized: bool,
+        plan: &FaultPlan,
+        location_workers: usize,
+    ) -> (SimOutcome, Trace) {
         let mut core = self.stage_phases(telemetry, optimized, plan);
         let benign_alerts = std::mem::take(&mut core.benign_alerts);
         let order_rng = core.order_rng.clone();
@@ -348,6 +519,7 @@ impl Runner {
             order_rng,
             None,
             None,
+            location_workers,
         )
     }
 
@@ -409,17 +581,19 @@ impl Runner {
         let detectors = d.beacons_of_kind(NodeKind::BenignBeacon);
         // Scratch for the reference-path audible queries; the optimized
         // path reads the topology's precomputed CSR cache instead of
-        // querying at all.
+        // querying at all — and schedules into a flat key-packed vec (see
+        // `ScheduledPairs`) instead of paying per-push heap maintenance.
         let mut audible: Vec<u32>;
-        let mut queue: EventQueue<(u32, u32)> = if optimized {
-            EventQueue::with_capacity(detectors.iter().map(|&u| d.audible_beacons(u).len()).sum())
+        let mut pairs = ScheduledPairs::with_capacity(if optimized {
+            detectors.iter().map(|&u| d.audible_beacons(u).len()).sum()
         } else {
-            EventQueue::new()
-        };
+            0
+        });
+        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
         for &u in &detectors {
             if optimized {
                 for &v in d.audible_beacons(u) {
-                    queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (u, v));
+                    pairs.schedule(order_rng.gen_range(0..1_000_000), u, v);
                 }
             } else {
                 audible = self.audible_beacons(u);
@@ -457,8 +631,7 @@ impl Runner {
                 }
             };
             if optimized {
-                // One sort instead of per-pop heap maintenance; same order.
-                for (t, (u, v)) in queue.drain_ordered() {
+                for (t, u, v) in pairs.drain_ordered() {
                     handle(t, u, v);
                 }
             } else {
@@ -473,15 +646,16 @@ impl Runner {
         // ---- Phase 2: location discovery by sensors. ------------------
         telemetry.emit("phase", &[("name", Value::Str("location".to_string()))]);
         let location_span = telemetry.span("phase.location");
-        let mut queue: EventQueue<(u32, u32)> = if optimized {
-            EventQueue::with_capacity(d.audible_pair_count(cfg.beacons, cfg.nodes))
+        let mut pairs = ScheduledPairs::with_capacity(if optimized {
+            d.audible_pair_count(cfg.beacons, cfg.nodes)
         } else {
-            EventQueue::new()
-        };
+            0
+        });
+        let mut queue: EventQueue<(u32, u32)> = EventQueue::new();
         for w in d.sensors() {
             if optimized {
                 for &v in d.audible_beacons(w) {
-                    queue.schedule(Cycles::new(order_rng.gen_range(0..1_000_000)), (w, v));
+                    pairs.schedule(order_rng.gen_range(0..1_000_000), w, v);
                 }
             } else {
                 audible = self.audible_beacons(w);
@@ -490,7 +664,24 @@ impl Runner {
                 }
             }
         }
-        let mut kept: Vec<Vec<KeptReference>> = vec![Vec::new(); cfg.nodes as usize];
+        // Pre-size each sensor's kept list to its audible-beacon count —
+        // the exact upper bound, since a sensor keeps at most one
+        // reference per audible beacon — so the probe loop below never
+        // reallocates mid-phase. Capacity is invisible to outcomes; the
+        // reference path keeps growth-on-push as the honest before.
+        let mut kept: Vec<Vec<KeptReference>> = if optimized {
+            (0..cfg.nodes)
+                .map(|u| {
+                    Vec::with_capacity(if u >= cfg.beacons {
+                        d.audible_beacons(u).len()
+                    } else {
+                        0
+                    })
+                })
+                .collect()
+        } else {
+            vec![Vec::new(); cfg.nodes as usize]
+        };
         // poisoned[v] = sensors that accepted a malicious signal from v.
         let mut poisoned: Vec<Vec<u32>> = vec![Vec::new(); cfg.beacons as usize];
         {
@@ -527,7 +718,7 @@ impl Runner {
                 }
             };
             if optimized {
-                for (t, (w, v)) in queue.drain_ordered() {
+                for (t, w, v) in pairs.drain_ordered() {
                     handle(t, w, v);
                 }
             } else {
@@ -568,24 +759,48 @@ impl Runner {
     /// The τ-independent slice of the impact phase, accumulated in sensor
     /// order with exactly the float operations of the in-run single-pass
     /// computation (so a shared-stage mean is bit-identical to a fresh
-    /// run's).
-    fn impact_precompute(&self, core: &StageCore) -> ImpactPrecompute {
+    /// run's). Solves run on the lane-kernel [`BatchedMmse`] over a
+    /// pre-sized [`MmseScratch`]; with `workers` ≥ 2 the per-sensor
+    /// solves fan out over scoped threads and are merged back in sensor
+    /// order before the fold, which cannot change the sums.
+    fn impact_precompute(&self, core: &StageCore, workers: usize) -> ImpactPrecompute {
         let d = &self.deployment;
         let cfg = d.config();
-        let estimator = MmseEstimator::default();
+        let batched = BatchedMmse::default();
         let field = secloc_geometry::Field::square(cfg.field_side_ft);
+        let cap = d.max_audible_len();
+        let solve_one = |w: u32, scratch: &mut MmseScratch| -> Option<f64> {
+            let ks = &core.kept[w as usize];
+            debug_assert!(ks.len() <= cap, "kept set exceeds pre-sized scratch");
+            scratch.load_from_iter(ks.iter().map(|k| k.reference));
+            batched
+                .estimate(scratch)
+                .ok()
+                .map(|est| field.clamp(est.position).distance(d.position(w)))
+        };
+        let sensor0 = cfg.beacons;
+        let total = (cfg.nodes - cfg.beacons) as usize;
+        let per_sensor: Vec<Option<f64>> = if workers >= 2 {
+            parallel_index_map(
+                total,
+                workers,
+                || MmseScratch::with_capacity(cap),
+                |i, scratch| solve_one(sensor0 + i as u32, scratch),
+            )
+        } else {
+            let mut scratch = MmseScratch::with_capacity(cap);
+            let cap0 = scratch.capacity();
+            let out = (0..total)
+                .map(|i| solve_one(sensor0 + i as u32, &mut scratch))
+                .collect();
+            debug_assert_eq!(scratch.capacity(), cap0, "MmseScratch grew mid-run");
+            out
+        };
         let mut before: Vec<Option<f64>> = vec![None; cfg.nodes as usize];
         let (mut sum_b, mut n_b) = (0.0f64, 0usize);
-        let mut refs: Vec<LocationReference> = Vec::new();
-        for w in d.sensors() {
-            refs.clear();
-            refs.extend(core.kept[w as usize].iter().map(|k| k.reference));
-            if refs.len() < estimator.min_references() {
-                continue;
-            }
-            if let Ok(est) = estimator.estimate(&refs) {
-                let c = field.clamp(est.position).distance(d.position(w));
-                before[w as usize] = Some(c);
+        for (i, c) in per_sensor.into_iter().enumerate() {
+            if let Some(c) = c {
+                before[sensor0 as usize + i] = Some(c);
                 sum_b += c;
                 n_b += 1;
             }
@@ -609,6 +824,7 @@ impl Runner {
         mut order_rng: StdRng,
         shared: Option<&ImpactPrecompute>,
         memo: Option<&mut ImpactMemo>,
+        location_workers: usize,
     ) -> (SimOutcome, Trace) {
         let mut trace = Trace::new();
         let d = &self.deployment;
@@ -777,6 +993,15 @@ impl Runner {
 
         let estimator = MmseEstimator::default();
         let field = secloc_geometry::Field::square(cfg.field_side_ft);
+        // Revocation state materialized once as a bitmap so the optimized
+        // inner loops avoid per-reference hash lookups; the reference-path
+        // closure below keeps querying the station directly.
+        let revoked: Vec<bool> = (0..cfg.beacons)
+            .map(|b| station.is_revoked(NodeId(b)))
+            .collect();
+        let workers_used = if optimized { location_workers.max(1) } else { 1 };
+        telemetry.set_gauge("run.location_workers", location_workers as i64);
+        telemetry.set_gauge("impact.workers", workers_used as i64);
         let mean_error = |filter_revoked: bool| -> Option<f64> {
             let mut sum = 0.0;
             let mut n = 0usize;
@@ -802,43 +1027,63 @@ impl Runner {
             (n > 0).then(|| sum / n as f64)
         };
 
-        // Single pass over the sensors with reused scratch buffers; when
-        // revocation removed none of a sensor's references the second
-        // (filtered) estimate is the same pure function of the same inputs,
-        // so the first result is reused instead of recomputed. The per-
-        // accumulator addition order matches the two-pass reference, so the
-        // means are bit-identical.
-        let mean_errors_single_pass = || -> (Option<f64>, Option<f64>) {
+        // Single pass over the sensors on the lane-kernel solver with a
+        // reused pre-sized scratch; when revocation removed none of a
+        // sensor's references the second (filtered) estimate is the same
+        // pure function of the same inputs, so the first result is reused
+        // instead of recomputed. Per-sensor contributions are folded in
+        // sensor order whether solved in-line or on worker threads, and
+        // the per-accumulator addition order matches the two-pass
+        // reference, so the means are bit-identical either way.
+        let batched = BatchedMmse::default();
+        let cap = d.max_audible_len();
+        let sensor0 = cfg.beacons;
+        let sensor_total = (cfg.nodes - cfg.beacons) as usize;
+        let solve_pair = |w: u32, scratch: &mut MmseScratch| -> (Option<f64>, Option<f64>) {
+            let ks = &kept[w as usize];
+            debug_assert!(ks.len() <= cap, "kept set exceeds pre-sized scratch");
+            scratch.load_from_iter(ks.iter().map(|k| k.reference));
+            let before = batched
+                .estimate(scratch)
+                .ok()
+                .map(|est| field.clamp(est.position).distance(d.position(w)));
+            let after = if ks.iter().all(|k| !revoked[k.beacon as usize]) {
+                before // nothing filtered: identical inputs
+            } else {
+                scratch.retain(|i| !revoked[ks[i].beacon as usize]);
+                batched
+                    .estimate(scratch)
+                    .ok()
+                    .map(|est| field.clamp(est.position).distance(d.position(w)))
+            };
+            (before, after)
+        };
+        let mean_errors_single_pass = |workers: usize| -> (Option<f64>, Option<f64>) {
+            let pairs: Vec<(Option<f64>, Option<f64>)> = if workers >= 2 {
+                parallel_index_map(
+                    sensor_total,
+                    workers,
+                    || MmseScratch::with_capacity(cap),
+                    |i, scratch| solve_pair(sensor0 + i as u32, scratch),
+                )
+            } else {
+                let mut scratch = MmseScratch::with_capacity(cap);
+                let cap0 = scratch.capacity();
+                let out = (0..sensor_total)
+                    .map(|i| solve_pair(sensor0 + i as u32, &mut scratch))
+                    .collect();
+                debug_assert_eq!(scratch.capacity(), cap0, "MmseScratch grew mid-run");
+                out
+            };
             let (mut sum_b, mut n_b) = (0.0f64, 0usize);
             let (mut sum_a, mut n_a) = (0.0f64, 0usize);
-            let mut refs: Vec<LocationReference> = Vec::new();
-            let mut refs_kept: Vec<LocationReference> = Vec::new();
-            for w in d.sensors() {
-                let ks = &kept[w as usize];
-                refs.clear();
-                refs.extend(ks.iter().map(|k| k.reference));
-                refs_kept.clear();
-                refs_kept.extend(
-                    ks.iter()
-                        .filter(|k| !station.is_revoked(NodeId(k.beacon)))
-                        .map(|k| k.reference),
-                );
-                let est_before = (refs.len() >= estimator.min_references())
-                    .then(|| estimator.estimate(&refs).ok())
-                    .flatten();
-                if let Some(est) = &est_before {
-                    sum_b += field.clamp(est.position).distance(d.position(w));
+            for (b, a) in pairs {
+                if let Some(c) = b {
+                    sum_b += c;
                     n_b += 1;
                 }
-                let est_after = if refs_kept.len() == refs.len() {
-                    est_before // nothing filtered: identical inputs
-                } else if refs_kept.len() >= estimator.min_references() {
-                    estimator.estimate(&refs_kept).ok()
-                } else {
-                    None
-                };
-                if let Some(est) = est_after {
-                    sum_a += field.clamp(est.position).distance(d.position(w));
+                if let Some(c) = a {
+                    sum_a += c;
                     n_a += 1;
                 }
             }
@@ -854,11 +1099,9 @@ impl Runner {
             // are re-estimated here. Revocation state is materialized as a
             // bitmap so the inner loops avoid per-reference hash lookups.
             Some(pre) => {
-                let revoked: Vec<bool> = (0..cfg.beacons)
-                    .map(|b| station.is_revoked(NodeId(b)))
-                    .collect();
                 let (mut sum_a, mut n_a) = (0.0f64, 0usize);
-                let mut refs_kept: Vec<LocationReference> = Vec::new();
+                let mut scratch = MmseScratch::with_capacity(cap);
+                let cap0 = scratch.capacity();
                 let mut memo = memo;
                 if let Some(m) = memo.as_deref_mut() {
                     if m.per_sensor.len() < cfg.nodes as usize {
@@ -883,21 +1126,16 @@ impl Runner {
                     } else {
                         None
                     };
-                    let solve = |refs_kept: &mut Vec<LocationReference>| {
-                        refs_kept.clear();
-                        refs_kept.extend(
+                    let solve = |scratch: &mut MmseScratch| {
+                        scratch.load_from_iter(
                             ks.iter()
                                 .filter(|k| !revoked[k.beacon as usize])
                                 .map(|k| k.reference),
                         );
-                        if refs_kept.len() >= estimator.min_references() {
-                            estimator
-                                .estimate(refs_kept)
-                                .ok()
-                                .map(|est| field.clamp(est.position).distance(d.position(w)))
-                        } else {
-                            None
-                        }
+                        batched
+                            .estimate(scratch)
+                            .ok()
+                            .map(|est| field.clamp(est.position).distance(d.position(w)))
                     };
                     let contribution = match (dropped, memo.as_deref_mut()) {
                         // Nothing dropped: identical inputs, reuse the
@@ -908,25 +1146,26 @@ impl Runner {
                             match entries.iter().find(|&&(key, _)| key == mask) {
                                 Some(&(_, c)) => c,
                                 None => {
-                                    let c = solve(&mut refs_kept);
+                                    let c = solve(&mut scratch);
                                     entries.push((mask, c));
                                     c
                                 }
                             }
                         }
-                        _ => solve(&mut refs_kept),
+                        _ => solve(&mut scratch),
                     };
                     if let Some(c) = contribution {
                         sum_a += c;
                         n_a += 1;
                     }
                 }
+                debug_assert_eq!(scratch.capacity(), cap0, "MmseScratch grew mid-run");
                 (
                     (pre.n_b > 0).then(|| pre.sum_b / pre.n_b as f64),
                     (n_a > 0).then(|| sum_a / n_a as f64),
                 )
             }
-            None if optimized => mean_errors_single_pass(),
+            None if optimized => mean_errors_single_pass(workers_used),
             None => (mean_error(false), mean_error(true)),
         };
 
